@@ -1,0 +1,84 @@
+// Ablation (§III design choices): lock number & granularity, and the MVCC
+// alternative.
+//
+// Compares, on the most view-maintenance-heavy write (W13, update customer,
+// which fans out to every Customer-Orders view row of that customer):
+//   1. Synergy's hierarchical locking — a single root lock per transaction;
+//   2. row-level locking — one lock per touched base/view/index row
+//      (what a views-oblivious locking scheme would pay);
+//   3. database-level lock — one lock, but every transaction serializes
+//      (reported as the throughput ceiling, 1/RT);
+//   4. MVCC — no locks, but the per-statement transaction-server tax.
+#include <cstdio>
+
+#include "systems/harness.h"
+#include "systems/mvcc_system.h"
+#include "systems/synergy_wrapper.h"
+
+int main() {
+  using namespace synergy;
+  using systems::FormatMs;
+  tpcw::ScaleConfig scale;
+  scale.num_customers = systems::EnvCustomers(1000);
+  const int reps = systems::EnvReps(5);
+  std::printf(
+      "=== Ablation: concurrency-control choices on write W13 "
+      "(update customer) ===\nNUM_CUST=%lld, %d reps.\n\n",
+      static_cast<long long>(scale.num_customers), reps);
+
+  systems::SynergyWrapper synergy;
+  if (!synergy.Setup(scale).ok()) return 1;
+  systems::MvccSystem mvcc("MVCC-A", systems::MvccSystem::ViewMode::kAware);
+  if (!mvcc.Setup(scale).ok()) return 1;
+
+  tpcw::ParamProvider p1(scale, 11), p2(scale, 11);
+  systems::Measurement synergy_w13 =
+      systems::MeasureStatement(synergy, p1, "W13", reps);
+  systems::Measurement mvcc_w13 =
+      systems::MeasureStatement(mvcc, p2, "W13", reps);
+  if (!synergy_w13.error.ok() || !mvcc_w13.error.ok()) {
+    std::fprintf(stderr, "W13 failed\n");
+    return 1;
+  }
+
+  // Row-level locking alternative: each affected row (base + ~10 view rows
+  // + their index rows) needs an acquire+release CheckAndPut pair.
+  const sim::CostModel model;  // EC2-like defaults
+  const int view_rows_touched = 10;  // Customer:Orders = 1:10
+  const int index_rows_touched = view_rows_touched * 2;  // vix + mix
+  const int row_locks = 1 + view_rows_touched + index_rows_touched;
+  const double row_lock_overhead_ms =
+      2.0 * row_locks * model.lock_rpc_us / 1000.0;
+  const double single_lock_overhead_ms = 2.0 * model.lock_rpc_us / 1000.0;
+
+  systems::TablePrinter table({"mechanism", "locks/txn", "lock_ms",
+                               "W13_total_ms", "serialized_txn/s"},
+                              16);
+  char buf[4][32];
+  std::snprintf(buf[0], 32, "%.1f", single_lock_overhead_ms);
+  std::snprintf(buf[1], 32, "%.1f", synergy_w13.rt_ms.mean());
+  std::snprintf(buf[2], 32, "%.0f", 1000.0 / synergy_w13.rt_ms.mean());
+  table.AddRow({"hierarchical (Synergy)", "1", buf[0], buf[1], "unbounded*"});
+  std::snprintf(buf[0], 32, "%.1f", row_lock_overhead_ms);
+  std::snprintf(buf[1], 32, "%.1f",
+                synergy_w13.rt_ms.mean() - single_lock_overhead_ms +
+                    row_lock_overhead_ms);
+  table.AddRow({"row-level locks", std::to_string(row_locks), buf[0], buf[1],
+                "unbounded*"});
+  std::snprintf(buf[0], 32, "%.1f", single_lock_overhead_ms);
+  std::snprintf(buf[1], 32, "%.1f", synergy_w13.rt_ms.mean());
+  std::snprintf(buf[2], 32, "%.0f", 1000.0 / synergy_w13.rt_ms.mean());
+  table.AddRow({"database lock", "1", buf[0], buf[1], buf[2]});
+  std::snprintf(buf[0], 32, "%.1f", mvcc_w13.rt_ms.mean());
+  table.AddRow({"MVCC (Tephra)", "0", "0", buf[0], "unbounded*"});
+  table.Print();
+  std::printf(
+      "\n* unbounded = only same-root (or same-row) writers serialize; the\n"
+      "  database lock serializes every write in the system.\n"
+      "Takeaway (paper §III): row-level locking pays ~%.0fx the lock cost\n"
+      "of hierarchical locking on this transaction, and MVCC pays a fixed\n"
+      "%.0f ms tax — motivating one lock per transaction.\n",
+      row_lock_overhead_ms / single_lock_overhead_ms,
+      mvcc_w13.rt_ms.mean() - synergy_w13.rt_ms.mean());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 14: TPC-W write statements W1-W13 across the five systems —
+// the overhead of lock management and view maintenance in Synergy vs the
+// MVCC tax in the Phoenix+Tephra systems.
+//
+// Paper: Synergy writes on average 9x / 8.6x / 8.6x cheaper than MVCC-UA /
+// MVCC-A / Baseline (Tephra adds 800-900 ms per statement) and 9.4x more
+// expensive than VoltDB; W6/W11 are Synergy's cheapest writes because
+// Shopping_cart is in no view.
+#include <cstdio>
+
+#include "systems/harness.h"
+#include "tpcw/workload.h"
+
+int main() {
+  using namespace synergy;
+  using systems::FormatMs;
+  tpcw::ScaleConfig scale;
+  scale.num_customers = systems::EnvCustomers(2000);
+  const int reps = systems::EnvReps(5);
+  std::printf(
+      "=== Figure 14: TPC-W write statement response times (simulated ms) "
+      "===\nNUM_CUST=%lld, %d reps.\n\n",
+      static_cast<long long>(scale.num_customers), reps);
+
+  std::vector<std::unique_ptr<systems::EvaluatedSystem>> evaluated;
+  for (const systems::SystemKind kind : systems::AllSystemKinds()) {
+    auto system = systems::MakeSystem(kind);
+    Status setup = system->Setup(scale);
+    if (!setup.ok()) {
+      std::fprintf(stderr, "%s setup failed: %s\n", system->name().c_str(),
+                   setup.ToString().c_str());
+      return 1;
+    }
+    evaluated.push_back(std::move(system));
+  }
+
+  std::vector<std::string> headers = {"statement"};
+  for (const auto& system : evaluated) headers.push_back(system->name());
+  systems::TablePrinter table(headers, 14);
+
+  std::map<std::string, std::map<std::string, double>> rt;
+  for (const std::string& id : tpcw::WriteStatementIds()) {
+    std::vector<std::string> row = {id};
+    for (const auto& system : evaluated) {
+      tpcw::ParamProvider params(scale, /*seed=*/314159);
+      systems::Measurement m =
+          systems::MeasureStatement(*system, params, id, reps);
+      if (!m.error.ok()) {
+        std::fprintf(stderr, "%s %s: %s\n", system->name().c_str(), id.c_str(),
+                     m.error.ToString().c_str());
+        return 1;
+      }
+      rt[id][system->name()] = m.rt_ms.mean();
+      row.push_back(FormatMs(m.rt_ms.mean()) + "+-" +
+                    FormatMs(m.rt_ms.stderr_mean()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  auto avg_ratio = [&](const std::string& num, const std::string& den) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& [stmt, by_system] : rt) {
+      sum += by_system.at(num) / by_system.at(den);
+      ++n;
+    }
+    return sum / n;
+  };
+  std::printf(
+      "\nWrite cost of other systems relative to Synergy "
+      "(mean of per-statement ratios):\n"
+      "  MVCC-UA / Synergy : %.1fx (paper: 9x)\n"
+      "  MVCC-A  / Synergy : %.1fx (paper: 8.6x)\n"
+      "  Baseline/ Synergy : %.1fx (paper: 8.6x)\n"
+      "  Synergy / VoltDB  : %.1fx (paper: 9.4x)\n",
+      avg_ratio("MVCC-UA", "Synergy"), avg_ratio("MVCC-A", "Synergy"),
+      avg_ratio("Baseline", "Synergy"), avg_ratio("Synergy", "VoltDB"));
+  std::printf(
+      "Cheapest Synergy writes: W6/W11 (Shopping_cart is outside every "
+      "rooted-tree view): W6=%.1f ms, W11=%.1f ms vs W13=%.1f ms.\n",
+      rt["W6"]["Synergy"], rt["W11"]["Synergy"], rt["W13"]["Synergy"]);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Walkthrough of the paper's running example: the Company database
+// (Figure 2) through the candidate-views generation mechanism (Figures 4-5)
+// and view selection / query rewriting (Figure 6 procedure applied to the
+// Company workload W1-W3 of Section V-B2).
+#include <cstdio>
+
+#include "synergy/query_rewrite.h"
+#include "synergy/view_index.h"
+#include "synergy/view_selection.h"
+
+using namespace synergy;
+
+namespace {
+
+sql::Catalog CompanyCatalog();
+sql::Workload CompanyWorkload();
+
+void Must(Status s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+sql::Catalog CompanyCatalog() {
+  using DT = DataType;
+  sql::Catalog cat;
+  Must(cat.AddRelation({.name = "Address",
+                        .columns = {{"AID", DT::kInt},
+                                    {"Street", DT::kString},
+                                    {"City", DT::kString},
+                                    {"Zip", DT::kString}},
+                        .primary_key = {"AID"}}));
+  Must(cat.AddRelation({.name = "Department",
+                        .columns = {{"DNo", DT::kInt}, {"DName", DT::kString}},
+                        .primary_key = {"DNo"}}));
+  Must(cat.AddRelation({.name = "Department_Location",
+                        .columns = {{"DL_DNo", DT::kInt},
+                                    {"DLocation", DT::kString}},
+                        .primary_key = {"DL_DNo", "DLocation"},
+                        .foreign_keys = {{{"DL_DNo"}, "Department"}}}));
+  Must(cat.AddRelation({.name = "Employee",
+                        .columns = {{"EID", DT::kInt},
+                                    {"EName", DT::kString},
+                                    {"EHome_AID", DT::kInt},
+                                    {"EOffice_AID", DT::kInt},
+                                    {"E_DNo", DT::kInt}},
+                        .primary_key = {"EID"},
+                        .foreign_keys = {{{"EHome_AID"}, "Address"},
+                                         {{"EOffice_AID"}, "Address"},
+                                         {{"E_DNo"}, "Department"}}}));
+  Must(cat.AddRelation({.name = "Project",
+                        .columns = {{"PNo", DT::kInt},
+                                    {"PName", DT::kString},
+                                    {"P_DNo", DT::kInt}},
+                        .primary_key = {"PNo"},
+                        .foreign_keys = {{{"P_DNo"}, "Department"}}}));
+  Must(cat.AddRelation({.name = "Works_On",
+                        .columns = {{"WO_EID", DT::kInt},
+                                    {"WO_PNo", DT::kInt},
+                                    {"Hours", DT::kInt}},
+                        .primary_key = {"WO_EID", "WO_PNo"},
+                        .foreign_keys = {{{"WO_EID"}, "Employee"},
+                                         {{"WO_PNo"}, "Project"}}}));
+  Must(cat.AddRelation({.name = "Dependent",
+                        .columns = {{"DP_EID", DT::kInt},
+                                    {"DPName", DT::kString},
+                                    {"DPHome_AID", DT::kInt}},
+                        .primary_key = {"DP_EID", "DPName"},
+                        .foreign_keys = {{{"DP_EID"}, "Employee"},
+                                         {{"DPHome_AID"}, "Address"}}}));
+  return cat;
+}
+
+sql::Workload CompanyWorkload() {
+  sql::Workload w;
+  Must(w.Add("W1",
+             "SELECT * FROM Employee as e, Address as a "
+             "WHERE a.AID = e.EHome_AID and e.EID = ?"));
+  Must(w.Add("W2",
+             "SELECT * FROM Department as d, Employee as e, Works_On as wo "
+             "WHERE d.DNo = e.E_DNo and e.EID = wo.WO_EID and d.DNo = ?"));
+  Must(w.Add("W3",
+             "SELECT * FROM Employee as e, Works_On as wo "
+             "WHERE e.EID = wo.WO_EID and wo.Hours = ?"));
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  sql::Catalog catalog = CompanyCatalog();
+  sql::Workload workload = CompanyWorkload();
+
+  std::printf("== Schema graph (Figure 4a) ==\n");
+  core::SchemaGraph graph = core::SchemaGraph::FromCatalog(catalog);
+  for (const core::SchemaEdge& e : graph.edges()) {
+    std::printf("  %s\n", e.Label().c_str());
+  }
+
+  std::printf("\n== Rooted trees for Q = {Address, Department} (Figure 4b) "
+              "==\n");
+  auto result = core::GenerateCandidateViews(graph, workload, catalog,
+                                             {"Address", "Department"});
+  Must(result.status());
+  for (const core::RootedTree& tree : result->trees) {
+    std::printf("  %s\n", tree.ToString().c_str());
+    for (const auto& path : core::EnumerateCandidatePaths(tree)) {
+      std::printf("    candidate view:");
+      for (const std::string& rel : path) std::printf(" %s", rel.c_str());
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n== Views selected for the workload (Section VI-A) ==\n");
+  auto views = core::SelectViews(workload, catalog, result->trees);
+  for (const core::SelectedView& view : views) {
+    std::printf("  %s (root %s)\n", view.Name().c_str(), view.root.c_str());
+    auto defs = core::MaterializeViewDef(view, catalog);
+    Must(defs.status());
+    Must(catalog.AddView(defs->first, defs->second));
+  }
+
+  std::printf("\n== Queries re-written using the views (Section VI-B) ==\n");
+  auto rewritten = core::RewriteWorkload(&workload, catalog, result->trees);
+  Must(rewritten.status());
+  for (const sql::WorkloadStatement& stmt : workload.statements) {
+    std::printf("  %s: %s\n", stmt.id.c_str(), stmt.sql.c_str());
+  }
+
+  std::printf("\n== Additional view-indexes (Section VI-C) ==\n");
+  for (const sql::IndexDef& ix :
+       core::RecommendViewIndexes(workload, catalog)) {
+    std::printf("  %s ON %s(%s)\n", ix.name.c_str(), ix.relation.c_str(),
+                ix.indexed_columns.front().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Interactive SQL shell over a Synergy system loaded with a small TPC-W
+// database. Type SQL (single statement per line), `\plan <sql>` to see the
+// executor's plan, `\views` to list materialized views, `\q` to quit.
+//
+//   $ ./examples/sql_shell
+//   synergy> SELECT * FROM Customer WHERE c_id = 3
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "synergy/synergy_system.h"
+#include "systems/harness.h"
+#include "tpcw/generator.h"
+#include "tpcw/schema.h"
+#include "tpcw/workload.h"
+
+using namespace synergy;
+
+int main() {
+  tpcw::ScaleConfig scale;
+  scale.num_customers = 100;
+  std::printf("Loading TPC-W (%lld customers) into a Synergy system...\n",
+              static_cast<long long>(scale.num_customers));
+  hbase::Cluster cluster;
+  core::SynergySystem system(&cluster, {.roots = tpcw::Roots()});
+  if (!system.Build(tpcw::BuildCatalog(), tpcw::BuildWorkload()).ok() ||
+      !system.CreateStorage().ok()) {
+    return 1;
+  }
+  hbase::Session load(&cluster);
+  if (!tpcw::GenerateDatabase(scale, [&](const std::string& rel,
+                                         const exec::Tuple& t) {
+         return system.Load(load, rel, t);
+       }).ok()) {
+    return 1;
+  }
+  exec::Executor executor(system.adapter());
+  std::printf("Ready. \\views lists views, \\plan <sql> explains, \\q quits.\n");
+
+  std::string line;
+  while (std::printf("synergy> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "\\q") break;
+    if (line == "\\views") {
+      for (const sql::ViewDef* v : system.catalog().Views()) {
+        std::printf("  %s (root %s)\n", v->name.c_str(), v->root.c_str());
+      }
+      continue;
+    }
+    const bool explain = line.rfind("\\plan ", 0) == 0;
+    const std::string text = explain ? line.substr(6) : line;
+    StatusOr<sql::Statement> stmt = sql::Parse(text);
+    if (!stmt.ok()) {
+      std::printf("parse error: %s\n", stmt.status().ToString().c_str());
+      continue;
+    }
+    if (const auto* sel = std::get_if<sql::SelectStatement>(&*stmt)) {
+      if (explain) {
+        auto plan = executor.Explain(*sel);
+        std::printf("%s", plan.ok() ? plan->c_str()
+                                    : plan.status().ToString().c_str());
+        continue;
+      }
+      hbase::Session s(&cluster);
+      auto result = system.ExecuteRead(s, *sel, {});
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      for (size_t c = 0; c < result->columns.size(); ++c) {
+        std::printf("%s%s", c ? " | " : "", result->columns[c].c_str());
+      }
+      std::printf("\n");
+      const size_t show = std::min<size_t>(result->rows.size(), 20);
+      for (size_t r = 0; r < show; ++r) {
+        for (size_t c = 0; c < result->rows[r].size(); ++c) {
+          std::printf("%s%s", c ? " | " : "",
+                      result->rows[r][c].ToString().c_str());
+        }
+        std::printf("\n");
+      }
+      std::printf("(%zu rows, %.2f simulated ms)\n", result->row_count,
+                  s.meter().millis());
+    } else {
+      hbase::Session s(&cluster);
+      auto result = system.ExecuteWrite(s, *stmt, {});
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        std::printf("OK, txn %lld (%.2f simulated ms)\n",
+                    static_cast<long long>(result->txn_id),
+                    s.meter().millis());
+      }
+    }
+  }
+  return 0;
+}

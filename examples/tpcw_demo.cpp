@@ -1,0 +1,65 @@
+// TPC-W demo: stand up all five evaluated systems at a small scale and run
+// a representative slice of the workload side by side.
+#include <cstdio>
+
+#include "systems/harness.h"
+#include "tpcw/workload.h"
+
+int main() {
+  using namespace synergy;
+  tpcw::ScaleConfig scale;
+  scale.num_customers = 200;
+  std::printf("Setting up the five evaluated systems (TPC-W, %lld customers)"
+              "...\n\n",
+              static_cast<long long>(scale.num_customers));
+
+  std::vector<std::unique_ptr<systems::EvaluatedSystem>> evaluated;
+  for (const systems::SystemKind kind : systems::AllSystemKinds()) {
+    auto system = systems::MakeSystem(kind);
+    Status setup = system->Setup(scale);
+    if (!setup.ok()) {
+      std::fprintf(stderr, "%s: %s\n", system->name().c_str(),
+                   setup.ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-9s ready — %s\n", system->name().c_str(),
+                system->Description().c_str());
+    const auto views = system->ViewNames();
+    if (!views.empty()) {
+      std::printf("            views:");
+      for (const std::string& v : views) std::printf(" %s", v.c_str());
+      std::printf("\n");
+    }
+    evaluated.push_back(std::move(system));
+  }
+
+  std::printf("\nResponse times (simulated ms; X = unsupported join):\n\n");
+  systems::TablePrinter table([&] {
+    std::vector<std::string> headers = {"statement"};
+    for (const auto& system : evaluated) headers.push_back(system->name());
+    return headers;
+  }());
+  for (const char* id : {"Q1", "Q2", "Q4", "Q7", "Q10", "S1", "W1", "W6",
+                         "W13"}) {
+    std::vector<std::string> row = {id};
+    for (const auto& system : evaluated) {
+      tpcw::ParamProvider params(scale, 7);
+      systems::Measurement m =
+          systems::MeasureStatement(*system, params, id, 2);
+      if (!m.error.ok()) {
+        row.push_back("ERR");
+      } else if (!m.supported) {
+        row.push_back("X");
+      } else {
+        row.push_back(systems::FormatMs(m.rt_ms.mean()));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nNote how the MVCC systems carry a fixed per-statement transaction\n"
+      "tax, Synergy serves joins from views at a fraction of Baseline's\n"
+      "cost, and VoltDB is fastest where the join is expressible at all.\n");
+  return 0;
+}

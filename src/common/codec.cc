@@ -1,0 +1,178 @@
+#include "common/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace synergy::codec {
+namespace {
+
+constexpr char kTypeNull = 0x00;
+
+void EncodeUint64BigEndian(uint64_t u, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((u >> shift) & 0xFF));
+  }
+}
+
+uint64_t DecodeUint64BigEndian(std::string_view in) {
+  uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) {
+    u = (u << 8) | static_cast<uint8_t>(in[i]);
+  }
+  return u;
+}
+
+}  // namespace
+
+void EncodeValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case DataType::kNull:
+      out->push_back(kTypeNull);
+      out->push_back(kTypeNull);
+      return;
+    case DataType::kInt: {
+      out->push_back(0x01);
+      const uint64_t biased =
+          static_cast<uint64_t>(v.as_int()) ^ (uint64_t{1} << 63);
+      EncodeUint64BigEndian(biased, out);
+      return;
+    }
+    case DataType::kDouble: {
+      out->push_back(0x02);
+      uint64_t bits = std::bit_cast<uint64_t>(v.as_double());
+      // Negative doubles: flip all bits; non-negative: flip sign bit only.
+      if (bits & (uint64_t{1} << 63)) {
+        bits = ~bits;
+      } else {
+        bits ^= (uint64_t{1} << 63);
+      }
+      EncodeUint64BigEndian(bits, out);
+      return;
+    }
+    case DataType::kString: {
+      out->push_back(0x03);
+      for (const char c : v.as_string()) {
+        if (c == '\0') {
+          out->push_back('\0');
+          out->push_back('\xFF');
+        } else {
+          out->push_back(c);
+        }
+      }
+      out->push_back('\0');
+      out->push_back(0x01);
+      return;
+    }
+  }
+}
+
+std::string EncodeKey(const std::vector<Value>& values) {
+  std::string out;
+  out.reserve(values.size() * 10);
+  for (const Value& v : values) EncodeValue(v, &out);
+  return out;
+}
+
+StatusOr<Value> DecodeValue(std::string_view* in, DataType type) {
+  if (in->empty()) return Status::InvalidArgument("empty key buffer");
+  const uint8_t tag = static_cast<uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  if (tag == 0x00) {
+    if (in->empty() || (*in)[0] != kTypeNull) {
+      return Status::InvalidArgument("bad NULL marker");
+    }
+    in->remove_prefix(1);
+    return Value();
+  }
+  switch (type) {
+    case DataType::kInt: {
+      if (tag != 0x01 || in->size() < 8) {
+        return Status::InvalidArgument("bad int encoding");
+      }
+      const uint64_t biased = DecodeUint64BigEndian(*in);
+      in->remove_prefix(8);
+      return Value(static_cast<int64_t>(biased ^ (uint64_t{1} << 63)));
+    }
+    case DataType::kDouble: {
+      if (tag != 0x02 || in->size() < 8) {
+        return Status::InvalidArgument("bad double encoding");
+      }
+      uint64_t bits = DecodeUint64BigEndian(*in);
+      in->remove_prefix(8);
+      if (bits & (uint64_t{1} << 63)) {
+        bits ^= (uint64_t{1} << 63);
+      } else {
+        bits = ~bits;
+      }
+      return Value(std::bit_cast<double>(bits));
+    }
+    case DataType::kString: {
+      if (tag != 0x03) return Status::InvalidArgument("bad string encoding");
+      std::string s;
+      while (true) {
+        if (in->size() < 1) return Status::InvalidArgument("unterminated string");
+        const char c = (*in)[0];
+        in->remove_prefix(1);
+        if (c != '\0') {
+          s.push_back(c);
+          continue;
+        }
+        if (in->empty()) return Status::InvalidArgument("unterminated string");
+        const char next = (*in)[0];
+        in->remove_prefix(1);
+        if (next == 0x01) break;           // terminator
+        if (next == '\xFF') {
+          s.push_back('\0');               // escaped NUL
+          continue;
+        }
+        return Status::InvalidArgument("bad string escape");
+      }
+      return Value(std::move(s));
+    }
+    case DataType::kNull:
+      return Status::InvalidArgument("cannot decode as NULL type");
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<std::vector<Value>> DecodeKey(std::string_view key,
+                                       const std::vector<DataType>& types) {
+  std::vector<Value> out;
+  out.reserve(types.size());
+  for (const DataType t : types) {
+    SYNERGY_ASSIGN_OR_RETURN(v, DecodeValue(&key, t));
+    out.push_back(std::move(v));
+  }
+  if (!key.empty()) {
+    return Status::InvalidArgument("trailing bytes after key decode");
+  }
+  return out;
+}
+
+std::string PrefixSuccessor(std::string_view prefix) {
+  std::string out(prefix);
+  while (!out.empty()) {
+    if (static_cast<uint8_t>(out.back()) != 0xFF) {
+      out.back() = static_cast<char>(static_cast<uint8_t>(out.back()) + 1);
+      return out;
+    }
+    out.pop_back();
+  }
+  return out;  // empty == unbounded
+}
+
+std::string HexDump(std::string_view bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 3);
+  for (const char c : bytes) {
+    const uint8_t b = static_cast<uint8_t>(c);
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+    out.push_back(' ');
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace synergy::codec

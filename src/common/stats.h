@@ -1,0 +1,37 @@
+// Mean / standard-error accumulation for benchmark reporting (the paper
+// reports mean and standard error over 10 repetitions).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace synergy {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Standard error of the mean.
+  double stderr_mean() const {
+    return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace synergy

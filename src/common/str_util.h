@@ -1,0 +1,18 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace synergy {
+
+std::vector<std::string> SplitString(std::string_view s, char sep);
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace synergy

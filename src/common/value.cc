@@ -1,0 +1,72 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace synergy {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull: return "NULL";
+    case DataType::kInt: return "INT";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  const DataType a = type();
+  const DataType b = other.type();
+  if (a == DataType::kNull || b == DataType::kNull) {
+    // NULL sorts before any non-null; two NULLs compare equal.
+    return (a == b) ? 0 : (a == DataType::kNull ? -1 : 1);
+  }
+  const bool a_num = a == DataType::kInt || a == DataType::kDouble;
+  const bool b_num = b == DataType::kInt || b == DataType::kDouble;
+  if (a_num && b_num) {
+    if (a == DataType::kInt && b == DataType::kInt) {
+      const int64_t x = as_int(), y = other.as_int();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = numeric(), y = other.numeric();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a == DataType::kString && b == DataType::kString) {
+    return as_string().compare(other.as_string()) < 0
+               ? -1
+               : (as_string() == other.as_string() ? 0 : 1);
+  }
+  // Mixed string/number: order by type tag for a stable total order.
+  return static_cast<int>(a) < static_cast<int>(b) ? -1 : 1;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull: return "NULL";
+    case DataType::kInt: return std::to_string(as_int());
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os << as_double();
+      return os.str();
+    }
+    case DataType::kString: return as_string();
+  }
+  return "?";
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case DataType::kNull: return 1;
+    case DataType::kInt: return 8;
+    case DataType::kDouble: return 8;
+    case DataType::kString: return as_string().size() + 4;
+  }
+  return 1;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace synergy

@@ -1,0 +1,665 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/codec.h"
+
+namespace synergy::exec {
+namespace {
+
+Status DirtyRead() { return Status::Aborted("dirty row encountered"); }
+
+std::shared_ptr<RowSchema> AliasSchema(const sql::TableRef& ref,
+                                       const sql::RelationDef& rel) {
+  std::vector<std::string> names;
+  names.reserve(rel.columns.size());
+  for (const sql::Column& c : rel.columns) {
+    names.push_back(ref.alias + "." + c.name);
+  }
+  return RowSchema::Make(std::move(names));
+}
+
+std::vector<Value> TupleToValues(const sql::RelationDef& rel,
+                                 const Tuple& tuple) {
+  std::vector<Value> values;
+  values.reserve(rel.columns.size());
+  for (const sql::Column& c : rel.columns) {
+    auto it = tuple.find(c.name);
+    values.push_back(it == tuple.end() ? Value() : it->second);
+  }
+  return values;
+}
+
+/// The constant side of an access-path key predicate.
+const sql::Operand& ConstSide(const sql::Predicate& pred) {
+  return pred.lhs.kind == sql::Operand::Kind::kColumn ? pred.rhs : pred.lhs;
+}
+
+// ---------------------------------------------------------------------------
+// Result sinks
+// ---------------------------------------------------------------------------
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// Returns false to stop the pipeline early.
+  virtual StatusOr<bool> Process(const ExecRow& row) = 0;
+  virtual Status Finish(QueryResult* out) = 0;
+};
+
+struct SortSpec {
+  std::vector<int> slots;  // into the output row
+  std::vector<bool> descending;
+};
+
+void SortAndLimit(std::vector<std::vector<Value>>* rows, const SortSpec& sort,
+                  int64_t limit, hbase::Session& s,
+                  const sim::CostModel& model) {
+  if (!sort.slots.empty() && rows->size() > 1) {
+    const double n = static_cast<double>(rows->size());
+    s.meter().Charge(model.sort_row_log_us * n * std::log2(n));
+    std::stable_sort(rows->begin(), rows->end(),
+                     [&](const std::vector<Value>& a,
+                         const std::vector<Value>& b) {
+                       for (size_t k = 0; k < sort.slots.size(); ++k) {
+                         const size_t slot =
+                             static_cast<size_t>(sort.slots[k]);
+                         const int c = a[slot].Compare(b[slot]);
+                         if (c != 0) return sort.descending[k] ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  if (limit >= 0 && rows->size() > static_cast<size_t>(limit)) {
+    rows->resize(static_cast<size_t>(limit));
+  }
+}
+
+/// Non-aggregating sink: project, optionally sort, limit, collect/count.
+class PlainSink : public Sink {
+ public:
+  static StatusOr<std::unique_ptr<PlainSink>> Make(
+      const sql::SelectStatement& stmt, const RowSchema& final_schema,
+      hbase::Session& s, const sim::CostModel& model,
+      const ExecOptions& options) {
+    auto sink = std::make_unique<PlainSink>();
+    sink->session_ = &s;
+    sink->model_ = &model;
+    sink->collect_ = options.collect_rows;
+    sink->limit_ = stmt.limit;
+    // Projection slots.
+    for (const sql::SelectItem& item : stmt.items) {
+      if (item.star) {
+        for (size_t i = 0; i < final_schema.size(); ++i) {
+          sink->slots_.push_back(static_cast<int>(i));
+          const std::string& qname = final_schema.names()[i];
+          const size_t dot = qname.find('.');
+          sink->columns_.push_back(
+              dot == std::string::npos ? qname : qname.substr(dot + 1));
+        }
+        continue;
+      }
+      const int slot = final_schema.Find(item.column);
+      if (slot < 0) {
+        return Status::InvalidArgument("unknown select column " +
+                                       item.column.ToString());
+      }
+      sink->slots_.push_back(slot);
+      sink->columns_.push_back(item.output_name);
+    }
+    // ORDER BY: prefer an output column, else a source slot.
+    for (const sql::OrderItem& o : stmt.order_by) {
+      int out_slot = -1;
+      for (size_t i = 0; i < sink->columns_.size(); ++i) {
+        if (sink->columns_[i] == o.column.column &&
+            (o.column.qualifier.empty())) {
+          out_slot = static_cast<int>(i);
+          break;
+        }
+      }
+      if (out_slot < 0) {
+        const int src = final_schema.Find(o.column);
+        if (src < 0) {
+          return Status::InvalidArgument("unknown ORDER BY column " +
+                                         o.column.ToString());
+        }
+        // Append as a hidden sort column.
+        sink->slots_.push_back(src);
+        sink->hidden_tail_ = true;
+        out_slot = static_cast<int>(sink->slots_.size()) - 1;
+      }
+      sink->sort_.slots.push_back(out_slot);
+      sink->sort_.descending.push_back(o.descending);
+    }
+    sink->needs_materialize_ = !sink->sort_.slots.empty();
+    return sink;
+  }
+
+  StatusOr<bool> Process(const ExecRow& row) override {
+    if (!needs_materialize_ && limit_ >= 0 &&
+        count_ >= static_cast<size_t>(limit_)) {
+      return false;
+    }
+    std::vector<Value> out;
+    out.reserve(slots_.size());
+    for (const int slot : slots_) out.push_back(row.At(slot));
+    if (needs_materialize_ || collect_) {
+      rows_.push_back(std::move(out));
+    }
+    ++count_;
+    if (!needs_materialize_ && limit_ >= 0 &&
+        count_ >= static_cast<size_t>(limit_)) {
+      return false;  // early stop: no ordering requested
+    }
+    return true;
+  }
+
+  Status Finish(QueryResult* result) override {
+    SortAndLimit(&rows_, sort_, limit_, *session_, *model_);
+    const size_t visible_cols =
+        columns_.size();  // hidden sort columns are dropped below
+    if (hidden_tail_) {
+      for (std::vector<Value>& row : rows_) row.resize(visible_cols);
+    }
+    result->columns = columns_;
+    result->row_count = needs_materialize_ ? rows_.size() : count_;
+    if (limit_ >= 0) {
+      result->row_count = std::min(result->row_count,
+                                   static_cast<size_t>(limit_));
+    }
+    if (collect_) {
+      result->rows = std::move(rows_);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  hbase::Session* session_ = nullptr;
+  const sim::CostModel* model_ = nullptr;
+  bool collect_ = true;
+  bool needs_materialize_ = false;
+  bool hidden_tail_ = false;
+  int64_t limit_ = -1;
+  size_t count_ = 0;
+  std::vector<int> slots_;
+  std::vector<std::string> columns_;
+  SortSpec sort_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+/// Hash-aggregation sink (GROUP BY + aggregate select items).
+class AggSink : public Sink {
+ public:
+  static StatusOr<std::unique_ptr<AggSink>> Make(
+      const sql::SelectStatement& stmt, const RowSchema& final_schema,
+      hbase::Session& s, const sim::CostModel& model,
+      const ExecOptions& options) {
+    auto sink = std::make_unique<AggSink>();
+    sink->session_ = &s;
+    sink->model_ = &model;
+    sink->collect_ = options.collect_rows;
+    sink->limit_ = stmt.limit;
+    for (const sql::ColumnRef& g : stmt.group_by) {
+      const int slot = final_schema.Find(g);
+      if (slot < 0) {
+        return Status::InvalidArgument("unknown GROUP BY column " +
+                                       g.ToString());
+      }
+      sink->group_slots_.push_back(slot);
+    }
+    for (const sql::SelectItem& item : stmt.items) {
+      if (item.star) {
+        return Status::InvalidArgument("SELECT * with aggregates");
+      }
+      ItemSpec spec;
+      spec.agg = item.agg;
+      if (item.count_star) {
+        spec.slot = -1;
+      } else {
+        spec.slot = final_schema.Find(item.column);
+        if (spec.slot < 0) {
+          return Status::InvalidArgument("unknown select column " +
+                                         item.column.ToString());
+        }
+      }
+      sink->items_.push_back(spec);
+      sink->columns_.push_back(item.output_name);
+    }
+    for (const sql::OrderItem& o : stmt.order_by) {
+      int out_slot = -1;
+      for (size_t i = 0; i < sink->columns_.size(); ++i) {
+        if (sink->columns_[i] == o.column.column) {
+          out_slot = static_cast<int>(i);
+          break;
+        }
+      }
+      if (out_slot < 0) {
+        return Status::InvalidArgument(
+            "ORDER BY over aggregation must name an output column: " +
+            o.column.ToString());
+      }
+      sink->sort_.slots.push_back(out_slot);
+      sink->sort_.descending.push_back(o.descending);
+    }
+    return sink;
+  }
+
+  StatusOr<bool> Process(const ExecRow& row) override {
+    session_->meter().Charge(model_->agg_row_us);
+    std::vector<Value> key;
+    key.reserve(group_slots_.size());
+    for (const int slot : group_slots_) key.push_back(row.At(slot));
+    GroupState& state = groups_[codec::EncodeKey(key)];
+    if (state.accums.empty()) {
+      state.order = groups_.size() - 1;
+      state.accums.resize(items_.size());
+      state.first_row.reserve(items_.size());
+      for (const ItemSpec& item : items_) {
+        state.first_row.push_back(item.slot >= 0 ? row.At(item.slot) : Value());
+      }
+    }
+    for (size_t i = 0; i < items_.size(); ++i) {
+      Accum& acc = state.accums[i];
+      const ItemSpec& item = items_[i];
+      if (item.agg == sql::AggFunc::kNone) continue;
+      Value v = item.slot >= 0 ? row.At(item.slot) : Value(1);
+      if (item.agg == sql::AggFunc::kCount) {
+        if (item.slot < 0 || !v.is_null()) acc.count += 1;
+        continue;
+      }
+      if (v.is_null()) continue;
+      acc.count += 1;
+      acc.sum += v.numeric();
+      if (acc.count == 1 || v < acc.min) acc.min = v;
+      if (acc.count == 1 || v > acc.max) acc.max = v;
+    }
+    return true;
+  }
+
+  Status Finish(QueryResult* result) override {
+    if (groups_.empty() && group_slots_.empty()) {
+      // Aggregates over an empty input still produce one row (COUNT = 0).
+      GroupState& state = groups_[""];
+      state.order = 0;
+      state.accums.resize(items_.size());
+      state.first_row.resize(items_.size());
+    }
+    std::vector<std::pair<size_t, std::vector<Value>>> ordered;
+    ordered.reserve(groups_.size());
+    for (auto& [key, state] : groups_) {
+      std::vector<Value> row;
+      row.reserve(items_.size());
+      for (size_t i = 0; i < items_.size(); ++i) {
+        const ItemSpec& item = items_[i];
+        const Accum& acc = state.accums[i];
+        switch (item.agg) {
+          case sql::AggFunc::kNone:
+            row.push_back(state.first_row[i]);
+            break;
+          case sql::AggFunc::kCount:
+            row.push_back(Value(static_cast<int64_t>(acc.count)));
+            break;
+          case sql::AggFunc::kSum:
+            row.push_back(acc.count == 0 ? Value() : Value(acc.sum));
+            break;
+          case sql::AggFunc::kAvg:
+            row.push_back(acc.count == 0
+                              ? Value()
+                              : Value(acc.sum /
+                                      static_cast<double>(acc.count)));
+            break;
+          case sql::AggFunc::kMin:
+            row.push_back(acc.count == 0 ? Value() : acc.min);
+            break;
+          case sql::AggFunc::kMax:
+            row.push_back(acc.count == 0 ? Value() : acc.max);
+            break;
+        }
+      }
+      ordered.emplace_back(state.order, std::move(row));
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(ordered.size());
+    for (auto& [order, row] : ordered) rows.push_back(std::move(row));
+    SortAndLimit(&rows, sort_, limit_, *session_, *model_);
+    result->columns = columns_;
+    result->row_count = rows.size();
+    if (collect_) result->rows = std::move(rows);
+    return Status::Ok();
+  }
+
+ private:
+  struct ItemSpec {
+    sql::AggFunc agg = sql::AggFunc::kNone;
+    int slot = -1;  // -1 == COUNT(*)
+  };
+  struct Accum {
+    size_t count = 0;
+    double sum = 0.0;
+    Value min, max;
+  };
+  struct GroupState {
+    size_t order = 0;
+    std::vector<Accum> accums;
+    std::vector<Value> first_row;
+  };
+
+  hbase::Session* session_ = nullptr;
+  const sim::CostModel* model_ = nullptr;
+  bool collect_ = true;
+  int64_t limit_ = -1;
+  std::vector<int> group_slots_;
+  std::vector<ItemSpec> items_;
+  std::vector<std::string> columns_;
+  SortSpec sort_;
+  std::unordered_map<std::string, GroupState> groups_;
+};
+
+}  // namespace
+
+StatusOr<std::string> Executor::Explain(const sql::SelectStatement& stmt,
+                                        const ExecOptions& options) {
+  PlannerOptions popts;
+  popts.force_hash_join = options.force_hash_join;
+  SYNERGY_ASSIGN_OR_RETURN(
+      plan, PlanSelect(stmt, adapter_->catalog(),
+                       [this](const std::string& r) {
+                         return adapter_->RowCount(r);
+                       },
+                       popts));
+  return plan.Explain();
+}
+
+StatusOr<QueryResult> Executor::ExecuteSelect(hbase::Session& s,
+                                              const sql::SelectStatement& stmt,
+                                              BoundParams params,
+                                              const ExecOptions& options) {
+  int restarts = 0;
+  while (true) {
+    StatusOr<QueryResult> result = ExecuteOnce(s, stmt, params, options);
+    if (result.ok()) {
+      result->dirty_restarts = restarts;
+      return result;
+    }
+    if (result.status().code() == StatusCode::kAborted &&
+        options.detect_dirty && restarts < options.max_dirty_retries) {
+      ++restarts;
+      // Back off for roughly one RPC before re-scanning.
+      s.meter().Charge(
+          adapter_->cluster()->cost_model().rpc_base_us);
+      continue;
+    }
+    return result;
+  }
+}
+
+StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
+                                            const sql::SelectStatement& stmt,
+                                            BoundParams params,
+                                            const ExecOptions& options) {
+  const sql::Catalog& catalog = adapter_->catalog();
+  const sim::CostModel& model = adapter_->cluster()->cost_model();
+  PlannerOptions popts;
+  popts.force_hash_join = options.force_hash_join;
+  SYNERGY_ASSIGN_OR_RETURN(
+      plan, PlanSelect(stmt, catalog,
+                       [this](const std::string& r) {
+                         return adapter_->RowCount(r);
+                       },
+                       popts));
+
+  // Final row schema = concatenation of all alias schemas.
+  std::vector<std::shared_ptr<RowSchema>> alias_schemas;
+  std::shared_ptr<RowSchema> final_schema;
+  for (const PlanStep& step : plan.steps) {
+    auto schema = AliasSchema(step.table, *step.rel);
+    final_schema = final_schema ? RowSchema::Concat(*final_schema, *schema)
+                                : schema;
+    alias_schemas.push_back(std::move(schema));
+  }
+
+  std::unique_ptr<Sink> sink;
+  if (stmt.HasAggregates() || !stmt.group_by.empty()) {
+    SYNERGY_ASSIGN_OR_RETURN(
+        agg, AggSink::Make(stmt, *final_schema, s, model, options));
+    sink = std::move(agg);
+  } else {
+    SYNERGY_ASSIGN_OR_RETURN(
+        plain, PlainSink::Make(stmt, *final_schema, s, model, options));
+    sink = std::move(plain);
+  }
+
+  // Streams rows of one table according to its access path.
+  auto for_each_table_row =
+      [&](const PlanStep& step,
+          const std::function<StatusOr<bool>(Tuple&&)>& fn) -> Status {
+    auto handle = [&](TupleWithMeta&& twm) -> StatusOr<bool> {
+      if (options.detect_dirty && twm.marked) return DirtyRead();
+      return fn(std::move(twm.tuple));
+    };
+    switch (step.path.kind) {
+      case AccessPath::Kind::kPkGet: {
+        std::vector<Value> key;
+        for (const sql::Predicate* p : step.path.key_preds) {
+          SYNERGY_ASSIGN_OR_RETURN(v, ResolveConstOperand(ConstSide(*p), params));
+          key.push_back(std::move(v));
+        }
+        SYNERGY_ASSIGN_OR_RETURN(
+            row, adapter_->GetByPk(s, step.table.table, key));
+        if (row.has_value()) {
+          SYNERGY_ASSIGN_OR_RETURN(keep, handle(std::move(*row)));
+          (void)keep;
+        }
+        return Status::Ok();
+      }
+      case AccessPath::Kind::kIndexPrefixScan:
+      case AccessPath::Kind::kPkPrefixScan: {
+        std::vector<Value> prefix;
+        for (const sql::Predicate* p : step.path.key_preds) {
+          SYNERGY_ASSIGN_OR_RETURN(v, ResolveConstOperand(ConstSide(*p), params));
+          prefix.push_back(std::move(v));
+        }
+        StatusOr<TupleScanner> scanner =
+            step.path.kind == AccessPath::Kind::kIndexPrefixScan
+                ? adapter_->ScanIndexPrefix(s, step.path.index_name, prefix)
+                : adapter_->ScanPkPrefix(s, step.table.table, prefix);
+        SYNERGY_RETURN_IF_ERROR(scanner.status());
+        TupleWithMeta twm;
+        while (true) {
+          SYNERGY_ASSIGN_OR_RETURN(more, scanner->Next(&twm));
+          if (!more) break;
+          SYNERGY_ASSIGN_OR_RETURN(keep, handle(std::move(twm)));
+          if (!keep) break;
+        }
+        return Status::Ok();
+      }
+      case AccessPath::Kind::kFullScan: {
+        SYNERGY_ASSIGN_OR_RETURN(scanner,
+                                 adapter_->ScanAll(s, step.table.table));
+        TupleWithMeta twm;
+        while (true) {
+          SYNERGY_ASSIGN_OR_RETURN(more, scanner.Next(&twm));
+          if (!more) break;
+          SYNERGY_ASSIGN_OR_RETURN(keep, handle(std::move(twm)));
+          if (!keep) break;
+        }
+        return Status::Ok();
+      }
+    }
+    return Status::Internal("bad access path");
+  };
+
+  // --- pipeline ---
+  const size_t n = plan.steps.size();
+  std::vector<ExecRow> current;
+  std::shared_ptr<RowSchema> cur_schema = alias_schemas[0];
+  bool stopped = false;
+
+  {
+    const PlanStep& step = plan.steps[0];
+    auto consume = [&](Tuple&& tuple) -> StatusOr<bool> {
+      ExecRow row{cur_schema, TupleToValues(*step.rel, tuple)};
+      SYNERGY_ASSIGN_OR_RETURN(pass, EvalAll(step.residual, row, params));
+      if (!pass) return true;
+      if (n == 1) {
+        SYNERGY_ASSIGN_OR_RETURN(keep, sink->Process(row));
+        if (!keep) {
+          stopped = true;
+          return false;
+        }
+        return true;
+      }
+      current.push_back(std::move(row));
+      return true;
+    };
+    SYNERGY_RETURN_IF_ERROR(for_each_table_row(step, consume));
+  }
+
+  for (size_t i = 1; i < n && !stopped; ++i) {
+    const PlanStep& step = plan.steps[i];
+    const bool last = (i == n - 1);
+    auto next_schema = RowSchema::Concat(*cur_schema, *alias_schemas[i]);
+    std::vector<ExecRow> next;
+
+    auto emit_combined = [&](const ExecRow& left,
+                             std::vector<Value>&& right_values)
+        -> StatusOr<bool> {
+      ExecRow combined{next_schema, left.values};
+      combined.values.insert(combined.values.end(),
+                             std::make_move_iterator(right_values.begin()),
+                             std::make_move_iterator(right_values.end()));
+      SYNERGY_ASSIGN_OR_RETURN(pass, EvalAll(step.residual, combined, params));
+      if (!pass) return true;
+      s.meter().Charge(model.join_emit_row_us);
+      if (last) {
+        SYNERGY_ASSIGN_OR_RETURN(keep, sink->Process(combined));
+        if (!keep) {
+          stopped = true;
+          return false;
+        }
+        return true;
+      }
+      next.push_back(std::move(combined));
+      return true;
+    };
+
+    if (step.method == PlanStep::Method::kIndexNestedLoop) {
+      for (const ExecRow& outer : current) {
+        if (stopped) break;
+        std::vector<Value> key;
+        key.reserve(step.lookup.outer_operands.size());
+        bool has_null = false;
+        for (const sql::Operand& op : step.lookup.outer_operands) {
+          SYNERGY_ASSIGN_OR_RETURN(v, ResolveOperand(op, outer, params));
+          if (v.is_null()) has_null = true;
+          key.push_back(std::move(v));
+        }
+        if (has_null) continue;
+        s.meter().Charge(model.join_probe_row_us + model.join_row_overhead_us);
+        if (step.lookup.kind == AccessPath::Kind::kPkGet) {
+          SYNERGY_ASSIGN_OR_RETURN(
+              row, adapter_->GetByPk(s, step.table.table, key));
+          if (row.has_value()) {
+            if (options.detect_dirty && row->marked) return DirtyRead();
+            SYNERGY_ASSIGN_OR_RETURN(
+                keep, emit_combined(outer, TupleToValues(*step.rel,
+                                                         row->tuple)));
+            (void)keep;
+          }
+        } else {
+          StatusOr<TupleScanner> scanner =
+              step.lookup.kind == AccessPath::Kind::kIndexPrefixScan
+                  ? adapter_->ScanIndexPrefix(s, step.lookup.index_name, key)
+                  : adapter_->ScanPkPrefix(s, step.table.table, key);
+          SYNERGY_RETURN_IF_ERROR(scanner.status());
+          TupleWithMeta twm;
+          while (!stopped) {
+            SYNERGY_ASSIGN_OR_RETURN(more, scanner->Next(&twm));
+            if (!more) break;
+            if (options.detect_dirty && twm.marked) return DirtyRead();
+            SYNERGY_ASSIGN_OR_RETURN(
+                keep,
+                emit_combined(outer, TupleToValues(*step.rel, twm.tuple)));
+            if (!keep) break;
+          }
+        }
+      }
+    } else {
+      // Client-side hash join: build on the accumulated intermediate,
+      // stream this step's table.
+      struct JoinSide {
+        const sql::Operand* outer;
+        std::string inner_column;
+      };
+      std::vector<JoinSide> keys;
+      for (const sql::Predicate* p : step.equi_joins) {
+        // Exactly one side belongs to this alias; the planner guaranteed it.
+        const bool lhs_inner =
+            p->lhs.kind == sql::Operand::Kind::kColumn &&
+            (p->lhs.column.qualifier == step.table.alias ||
+             (p->lhs.column.qualifier.empty() &&
+              step.rel->HasColumn(p->lhs.column.column) &&
+              cur_schema->Find(p->lhs.column) < 0));
+        if (lhs_inner) {
+          keys.push_back(JoinSide{&p->rhs, p->lhs.column.column});
+        } else {
+          keys.push_back(JoinSide{&p->lhs, p->rhs.column.column});
+        }
+      }
+      std::unordered_map<std::string, std::vector<const ExecRow*>> table;
+      table.reserve(current.size() * 2);
+      // Build sides beyond client memory spill to a grace hash join: both
+      // sides pay an extra partitioning pass per row.
+      const bool spilled = current.size() > model.hash_join_spill_rows;
+      for (const ExecRow& row : current) {
+        std::vector<Value> key;
+        key.reserve(keys.size());
+        bool has_null = false;
+        for (const JoinSide& k : keys) {
+          SYNERGY_ASSIGN_OR_RETURN(v, ResolveOperand(*k.outer, row, params));
+          if (v.is_null()) has_null = true;
+          key.push_back(std::move(v));
+        }
+        s.meter().Charge(model.join_build_row_us + model.join_row_overhead_us +
+                         (spilled ? model.join_spill_row_us : 0.0));
+        if (!has_null) table[codec::EncodeKey(key)].push_back(&row);
+      }
+      auto consume = [&](Tuple&& tuple) -> StatusOr<bool> {
+        s.meter().Charge(model.join_probe_row_us + model.join_row_overhead_us +
+                         (spilled ? model.join_spill_row_us : 0.0));
+        std::vector<Value> key;
+        key.reserve(keys.size());
+        for (const JoinSide& k : keys) {
+          auto it = tuple.find(k.inner_column);
+          if (it == tuple.end()) return true;  // NULL join key: no match
+          key.push_back(it->second);
+        }
+        auto bucket = table.find(codec::EncodeKey(key));
+        if (bucket == table.end()) return true;
+        std::vector<Value> right_values = TupleToValues(*step.rel, tuple);
+        for (const ExecRow* left : bucket->second) {
+          std::vector<Value> copy = right_values;
+          SYNERGY_ASSIGN_OR_RETURN(keep, emit_combined(*left, std::move(copy)));
+          if (!keep) return false;
+        }
+        return true;
+      };
+      SYNERGY_RETURN_IF_ERROR(for_each_table_row(step, consume));
+    }
+    if (!last) {
+      current = std::move(next);
+      cur_schema = next_schema;
+    }
+  }
+
+  QueryResult result;
+  SYNERGY_RETURN_IF_ERROR(sink->Finish(&result));
+  return result;
+}
+
+}  // namespace synergy::exec

@@ -1,0 +1,63 @@
+// Query executor: runs SelectPlans against the store, Phoenix-style
+// (client-coordinated scans, hash joins and index nested-loop joins),
+// charging join/sort/aggregation CPU to the session's virtual meter.
+//
+// Also implements the dirty-read detection protocol of §VIII-C: when
+// ExecOptions.detect_dirty is set and a scan encounters a marked row, the
+// whole statement is restarted (bounded retries).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/expression.h"
+#include "exec/planner.h"
+#include "exec/table_adapter.h"
+
+namespace synergy::exec {
+
+struct ExecOptions {
+  /// Materialize result rows (false = count + cost only; used by benches
+  /// over multi-million-row results).
+  bool collect_rows = true;
+  /// Restart on dirty-marked rows (Synergy read protocol).
+  bool detect_dirty = false;
+  int max_dirty_retries = 10;
+  /// Force client hash joins (micro-benchmark "join algorithm" mode).
+  bool force_hash_join = false;
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;  // empty when !collect_rows
+  size_t row_count = 0;
+  int dirty_restarts = 0;
+};
+
+class Executor {
+ public:
+  explicit Executor(TableAdapter* adapter) : adapter_(adapter) {}
+
+  /// Plans and executes a SELECT. The statement must outlive the call.
+  StatusOr<QueryResult> ExecuteSelect(hbase::Session& s,
+                                      const sql::SelectStatement& stmt,
+                                      BoundParams params,
+                                      const ExecOptions& options = {});
+
+  /// Explain the plan that would be chosen (for tests and ablations).
+  StatusOr<std::string> Explain(const sql::SelectStatement& stmt,
+                                const ExecOptions& options = {});
+
+ private:
+  StatusOr<QueryResult> ExecuteOnce(hbase::Session& s,
+                                    const sql::SelectStatement& stmt,
+                                    BoundParams params,
+                                    const ExecOptions& options);
+
+  TableAdapter* adapter_;
+};
+
+}  // namespace synergy::exec

@@ -1,0 +1,110 @@
+#include "exec/expression.h"
+
+#include "common/str_util.h"
+
+namespace synergy::exec {
+
+std::shared_ptr<RowSchema> RowSchema::Make(
+    std::vector<std::string> qualified_names) {
+  auto schema = std::make_shared<RowSchema>();
+  schema->names_ = std::move(qualified_names);
+  std::map<std::string, int> plain_count;
+  for (size_t i = 0; i < schema->names_.size(); ++i) {
+    const std::string& qname = schema->names_[i];
+    schema->by_name_[qname] = static_cast<int>(i);
+    const size_t dot = qname.find('.');
+    if (dot != std::string::npos) {
+      const std::string plain = qname.substr(dot + 1);
+      auto [it, inserted] = schema->by_name_.try_emplace(
+          plain, static_cast<int>(i));
+      if (!inserted && it->second >= 0 &&
+          schema->names_[static_cast<size_t>(it->second)] != qname) {
+        it->second = -2;  // ambiguous unqualified name
+      }
+    }
+  }
+  return schema;
+}
+
+std::shared_ptr<RowSchema> RowSchema::Concat(const RowSchema& left,
+                                             const RowSchema& right) {
+  std::vector<std::string> names = left.names_;
+  names.insert(names.end(), right.names_.begin(), right.names_.end());
+  return Make(std::move(names));
+}
+
+int RowSchema::Find(const sql::ColumnRef& ref) const {
+  return FindByName(ref.qualifier.empty() ? ref.column
+                                          : ref.qualifier + "." + ref.column);
+}
+
+int RowSchema::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second < 0) return -1;
+  return it->second;
+}
+
+StatusOr<Value> ResolveOperand(const sql::Operand& op, const ExecRow& row,
+                               BoundParams params) {
+  switch (op.kind) {
+    case sql::Operand::Kind::kColumn: {
+      const int slot = row.schema->Find(op.column);
+      if (slot < 0) {
+        return Status::InvalidArgument("unknown column " +
+                                       op.column.ToString());
+      }
+      return row.At(slot);
+    }
+    case sql::Operand::Kind::kLiteral:
+      return op.literal;
+    case sql::Operand::Kind::kParam: {
+      if (op.param_index < 0 ||
+          static_cast<size_t>(op.param_index) >= params.size()) {
+        return Status::InvalidArgument("parameter index out of range");
+      }
+      return params[static_cast<size_t>(op.param_index)];
+    }
+  }
+  return Status::Internal("bad operand kind");
+}
+
+StatusOr<Value> ResolveConstOperand(const sql::Operand& op,
+                                    BoundParams params) {
+  if (op.kind == sql::Operand::Kind::kColumn) {
+    return Status::InvalidArgument("expected constant operand");
+  }
+  ExecRow dummy{RowSchema::Make({}), {}};
+  return ResolveOperand(op, dummy, params);
+}
+
+bool CompareValues(sql::CompareOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case sql::CompareOp::kEq: return c == 0;
+    case sql::CompareOp::kNe: return c != 0;
+    case sql::CompareOp::kLt: return c < 0;
+    case sql::CompareOp::kLe: return c <= 0;
+    case sql::CompareOp::kGt: return c > 0;
+    case sql::CompareOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+StatusOr<bool> EvalPredicate(const sql::Predicate& pred, const ExecRow& row,
+                             BoundParams params) {
+  SYNERGY_ASSIGN_OR_RETURN(lhs, ResolveOperand(pred.lhs, row, params));
+  SYNERGY_ASSIGN_OR_RETURN(rhs, ResolveOperand(pred.rhs, row, params));
+  return CompareValues(pred.op, lhs, rhs);
+}
+
+StatusOr<bool> EvalAll(const std::vector<const sql::Predicate*>& preds,
+                       const ExecRow& row, BoundParams params) {
+  for (const sql::Predicate* p : preds) {
+    SYNERGY_ASSIGN_OR_RETURN(ok, EvalPredicate(*p, row, params));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace synergy::exec

@@ -1,0 +1,68 @@
+// Execution rows, schemas and predicate evaluation.
+//
+// An ExecRow is a flat vector of values aligned with a RowSchema that maps
+// qualified ("alias.column") and unambiguous unqualified names to slots.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace synergy::exec {
+
+/// Column name -> slot mapping shared by all rows of one operator output.
+class RowSchema {
+ public:
+  /// `qualified_names` are "alias.column" entries in slot order.
+  static std::shared_ptr<RowSchema> Make(
+      std::vector<std::string> qualified_names);
+
+  /// Concatenation (for join outputs).
+  static std::shared_ptr<RowSchema> Concat(const RowSchema& left,
+                                           const RowSchema& right);
+
+  const std::vector<std::string>& names() const { return names_; }
+  size_t size() const { return names_.size(); }
+
+  /// Slot for a column reference; -1 if unknown or ambiguous.
+  int Find(const sql::ColumnRef& ref) const;
+  int FindByName(const std::string& qualified_or_plain) const;
+
+ private:
+  std::vector<std::string> names_;            // qualified, slot order
+  std::map<std::string, int> by_name_;        // qualified + unique unqualified
+};
+
+struct ExecRow {
+  std::shared_ptr<const RowSchema> schema;
+  std::vector<Value> values;
+
+  const Value& At(int slot) const { return values[static_cast<size_t>(slot)]; }
+};
+
+using BoundParams = std::span<const Value>;
+
+/// Resolves an operand against a row and bound parameters.
+StatusOr<Value> ResolveOperand(const sql::Operand& op, const ExecRow& row,
+                               BoundParams params);
+
+/// Resolves a literal/param operand (no row context). Fails for columns.
+StatusOr<Value> ResolveConstOperand(const sql::Operand& op, BoundParams params);
+
+/// Evaluates one conjunct. SQL three-valued logic collapses to false when
+/// either side is NULL (sufficient for the supported workloads).
+StatusOr<bool> EvalPredicate(const sql::Predicate& pred, const ExecRow& row,
+                             BoundParams params);
+
+StatusOr<bool> EvalAll(const std::vector<const sql::Predicate*>& preds,
+                       const ExecRow& row, BoundParams params);
+
+bool CompareValues(sql::CompareOp op, const Value& lhs, const Value& rhs);
+
+}  // namespace synergy::exec

@@ -1,0 +1,489 @@
+#include "exec/planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace synergy::exec {
+namespace {
+
+/// Index of the FROM alias a column reference resolves to; -1 if it cannot
+/// be resolved unambiguously.
+int ResolveAlias(const std::vector<sql::TableRef>& from,
+                 const sql::Catalog& catalog, const sql::ColumnRef& ref) {
+  if (!ref.qualifier.empty()) {
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (from[i].alias == ref.qualifier) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  int found = -1;
+  for (size_t i = 0; i < from.size(); ++i) {
+    const sql::RelationDef* rel = catalog.FindRelation(from[i].table);
+    if (rel != nullptr && rel->HasColumn(ref.column)) {
+      if (found >= 0) return -1;  // ambiguous
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+int OperandAlias(const std::vector<sql::TableRef>& from,
+                 const sql::Catalog& catalog, const sql::Operand& op) {
+  if (op.kind != sql::Operand::Kind::kColumn) return -1;
+  return ResolveAlias(from, catalog, op.column);
+}
+
+struct ClassifiedPred {
+  const sql::Predicate* pred;
+  int lhs_alias;
+  int rhs_alias;
+  int max_alias;  // latest FROM position referenced
+  bool IsEquiJoin() const {
+    return pred->op == sql::CompareOp::kEq && lhs_alias >= 0 &&
+           rhs_alias >= 0 && lhs_alias != rhs_alias;
+  }
+  bool IsConstEquality(int alias) const {
+    return pred->op == sql::CompareOp::kEq &&
+           ((lhs_alias == alias && rhs_alias < 0 &&
+             pred->rhs.kind != sql::Operand::Kind::kColumn) ||
+            (rhs_alias == alias && lhs_alias < 0 &&
+             pred->lhs.kind != sql::Operand::Kind::kColumn));
+  }
+  /// For a const-equality: the column on `alias`.
+  std::string ConstEqualityColumn(int alias) const {
+    return lhs_alias == alias ? pred->lhs.column.column
+                              : pred->rhs.column.column;
+  }
+};
+
+/// Columns this alias must supply (for covered-index eligibility).
+std::set<std::string> NeededColumns(const sql::SelectStatement& stmt,
+                                    const sql::Catalog& catalog,
+                                    const std::vector<sql::TableRef>& from,
+                                    int alias) {
+  const sql::RelationDef* rel = catalog.FindRelation(from[alias].table);
+  std::set<std::string> needed;
+  auto add_ref = [&](const sql::ColumnRef& ref) {
+    if (ResolveAlias(from, catalog, ref) == alias) needed.insert(ref.column);
+  };
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (const sql::Column& c : rel->columns) needed.insert(c.name);
+    } else if (!item.count_star) {
+      add_ref(item.column);
+    }
+  }
+  for (const sql::Predicate& p : stmt.where) {
+    if (p.lhs.kind == sql::Operand::Kind::kColumn) add_ref(p.lhs.column);
+    if (p.rhs.kind == sql::Operand::Kind::kColumn) add_ref(p.rhs.column);
+  }
+  for (const sql::ColumnRef& c : stmt.group_by) add_ref(c);
+  for (const sql::OrderItem& o : stmt.order_by) add_ref(o.column);
+  return needed;
+}
+
+bool Covers(const sql::IndexDef& ix, const std::set<std::string>& needed) {
+  for (const std::string& col : needed) {
+    if (std::find(ix.covered_columns.begin(), ix.covered_columns.end(), col) ==
+        ix.covered_columns.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Picks the best access path given const-equality predicates on the alias.
+AccessPath PickAccessPath(const sql::RelationDef& rel,
+                          const std::vector<const sql::IndexDef*>& indexes,
+                          const std::vector<ClassifiedPred>& const_eqs,
+                          int alias, const std::set<std::string>& needed) {
+  auto find_pred = [&](const std::string& col) -> const ClassifiedPred* {
+    for (const ClassifiedPred& cp : const_eqs) {
+      if (cp.ConstEqualityColumn(alias) == col) return &cp;
+    }
+    return nullptr;
+  };
+
+  AccessPath path;
+  // Full PK equality -> point get.
+  {
+    std::vector<const sql::Predicate*> preds;
+    std::vector<std::string> cols;
+    for (const std::string& pk : rel.primary_key) {
+      const ClassifiedPred* cp = find_pred(pk);
+      if (cp == nullptr) break;
+      preds.push_back(cp->pred);
+      cols.push_back(pk);
+    }
+    if (cols.size() == rel.primary_key.size() && !cols.empty()) {
+      path.kind = AccessPath::Kind::kPkGet;
+      path.key_columns = std::move(cols);
+      path.key_preds = std::move(preds);
+      return path;
+    }
+  }
+  // Longest covered index prefix.
+  size_t best_len = 0;
+  const sql::IndexDef* best_ix = nullptr;
+  for (const sql::IndexDef* ix : indexes) {
+    if (!Covers(*ix, needed)) continue;
+    size_t len = 0;
+    for (const std::string& col : ix->indexed_columns) {
+      if (find_pred(col) == nullptr) break;
+      ++len;
+    }
+    if (len > best_len) {
+      best_len = len;
+      best_ix = ix;
+    }
+  }
+  // PK prefix.
+  size_t pk_prefix = 0;
+  for (const std::string& pk : rel.primary_key) {
+    if (find_pred(pk) == nullptr) break;
+    ++pk_prefix;
+  }
+  if (best_len > 0 && best_len >= pk_prefix) {
+    path.kind = AccessPath::Kind::kIndexPrefixScan;
+    path.index_name = best_ix->name;
+    for (size_t i = 0; i < best_len; ++i) {
+      const std::string& col = best_ix->indexed_columns[i];
+      path.key_columns.push_back(col);
+      path.key_preds.push_back(find_pred(col)->pred);
+    }
+    return path;
+  }
+  if (pk_prefix > 0) {
+    path.kind = AccessPath::Kind::kPkPrefixScan;
+    for (size_t i = 0; i < pk_prefix; ++i) {
+      const std::string& col = rel.primary_key[i];
+      path.key_columns.push_back(col);
+      path.key_preds.push_back(find_pred(col)->pred);
+    }
+    return path;
+  }
+  path.kind = AccessPath::Kind::kFullScan;
+  return path;
+}
+
+double EstimateSourceRows(const AccessPath& path, const sql::Catalog& catalog,
+                          size_t table_rows) {
+  switch (path.kind) {
+    case AccessPath::Kind::kPkGet:
+      return 1.0;
+    case AccessPath::Kind::kIndexPrefixScan: {
+      const sql::IndexDef* ix = catalog.FindIndex(path.index_name);
+      if (ix != nullptr && ix->unique &&
+          path.key_columns.size() == ix->indexed_columns.size()) {
+        return 1.0;
+      }
+      double divisor = 100.0;
+      if (ix != nullptr) {
+        switch (ix->cardinality) {
+          case sql::IndexCardinality::kLow: divisor = 20.0; break;
+          case sql::IndexCardinality::kHigh: divisor = 1000.0; break;
+          case sql::IndexCardinality::kUnknown: break;
+        }
+      }
+      return std::max(1.0, static_cast<double>(table_rows) / divisor);
+    }
+    case AccessPath::Kind::kPkPrefixScan:
+      return std::max(1.0, static_cast<double>(table_rows) / 100.0);
+    case AccessPath::Kind::kFullScan:
+      return static_cast<double>(table_rows);
+  }
+  return static_cast<double>(table_rows);
+}
+
+}  // namespace
+
+std::string AccessPath::Describe() const {
+  switch (kind) {
+    case Kind::kPkGet: return "PK_GET";
+    case Kind::kPkPrefixScan: return "PK_PREFIX_SCAN";
+    case Kind::kIndexPrefixScan: return "INDEX_SCAN(" + index_name + ")";
+    case Kind::kFullScan: return "FULL_SCAN";
+  }
+  return "?";
+}
+
+std::string SelectPlan::Explain() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const PlanStep& s = steps[i];
+    os << i << ": " << s.table.table;
+    if (s.table.alias != s.table.table) os << " AS " << s.table.alias;
+    switch (s.method) {
+      case PlanStep::Method::kSource:
+        os << " SOURCE " << s.path.Describe();
+        break;
+      case PlanStep::Method::kHashJoin:
+        os << " HASH_JOIN " << s.path.Describe();
+        break;
+      case PlanStep::Method::kIndexNestedLoop:
+        os << " INDEX_NESTED_LOOP ";
+        switch (s.lookup.kind) {
+          case AccessPath::Kind::kPkGet: os << "PK_GET"; break;
+          case AccessPath::Kind::kPkPrefixScan: os << "PK_PREFIX"; break;
+          case AccessPath::Kind::kIndexPrefixScan:
+            os << "INDEX(" << s.lookup.index_name << ")";
+            break;
+          default: os << "?";
+        }
+        break;
+    }
+    os << " residual=" << s.residual.size()
+       << " est=" << static_cast<long long>(s.estimated_rows) << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<SelectPlan> PlanSelect(const sql::SelectStatement& stmt,
+                                const sql::Catalog& catalog,
+                                const RowCountFn& row_count,
+                                const PlannerOptions& options) {
+  SelectPlan plan;
+  plan.stmt = &stmt;
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("SELECT without FROM");
+  }
+  for (const sql::TableRef& ref : stmt.from) {
+    if (catalog.FindRelation(ref.table) == nullptr) {
+      return Status::NotFound("relation " + ref.table);
+    }
+  }
+  // Classify predicates.
+  std::vector<ClassifiedPred> preds;
+  preds.reserve(stmt.where.size());
+  for (const sql::Predicate& p : stmt.where) {
+    ClassifiedPred cp;
+    cp.pred = &p;
+    cp.lhs_alias = OperandAlias(stmt.from, catalog, p.lhs);
+    cp.rhs_alias = OperandAlias(stmt.from, catalog, p.rhs);
+    if (p.lhs.kind == sql::Operand::Kind::kColumn && cp.lhs_alias < 0) {
+      return Status::InvalidArgument("cannot resolve column " +
+                                     p.lhs.column.ToString());
+    }
+    if (p.rhs.kind == sql::Operand::Kind::kColumn && cp.rhs_alias < 0) {
+      return Status::InvalidArgument("cannot resolve column " +
+                                     p.rhs.column.ToString());
+    }
+    cp.max_alias = std::max(cp.lhs_alias, cp.rhs_alias);
+    preds.push_back(cp);
+  }
+
+  // Pre-compute per-alias access paths and source estimates.
+  const size_t n = stmt.from.size();
+  std::vector<AccessPath> alias_paths(n);
+  std::vector<double> alias_est(n);
+  std::vector<std::set<std::string>> alias_needed(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int alias = static_cast<int>(i);
+    alias_needed[i] = NeededColumns(stmt, catalog, stmt.from, alias);
+    std::vector<ClassifiedPred> const_eqs;
+    for (const ClassifiedPred& cp : preds) {
+      if (cp.IsConstEquality(alias)) const_eqs.push_back(cp);
+    }
+    const sql::RelationDef* rel = catalog.FindRelation(stmt.from[i].table);
+    alias_paths[i] =
+        PickAccessPath(*rel, catalog.IndexesFor(stmt.from[i].table),
+                       const_eqs, alias, alias_needed[i]);
+    const size_t table_rows =
+        row_count ? row_count(stmt.from[i].table) : 0;
+    alias_est[i] = EstimateSourceRows(alias_paths[i], catalog, table_rows);
+  }
+
+  // Greedy join order: start at the most selective source; repeatedly add
+  // the most selective table that joins the bound set (avoiding cross joins
+  // whenever connectivity allows).
+  std::vector<int> order;
+  std::set<int> bound;
+  {
+    size_t first = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (alias_est[i] < alias_est[first]) first = i;
+    }
+    order.push_back(static_cast<int>(first));
+    bound.insert(static_cast<int>(first));
+    while (order.size() < n) {
+      int best = -1;
+      bool best_connected = false;
+      for (size_t i = 0; i < n; ++i) {
+        const int alias = static_cast<int>(i);
+        if (bound.contains(alias)) continue;
+        bool connected = false;
+        for (const ClassifiedPred& cp : preds) {
+          if (!cp.IsEquiJoin()) continue;
+          if ((cp.lhs_alias == alias && bound.contains(cp.rhs_alias)) ||
+              (cp.rhs_alias == alias && bound.contains(cp.lhs_alias))) {
+            connected = true;
+            break;
+          }
+        }
+        if (best < 0 || (connected && !best_connected) ||
+            (connected == best_connected &&
+             alias_est[i] < alias_est[static_cast<size_t>(best)])) {
+          best = alias;
+          best_connected = connected;
+        }
+      }
+      order.push_back(best);
+      bound.insert(best);
+    }
+  }
+
+  double est = 0;
+  std::set<int> done;
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const int alias = order[pos];
+    const size_t i = static_cast<size_t>(alias);
+    PlanStep step;
+    step.table = stmt.from[i];
+    step.rel = catalog.FindRelation(step.table.table);
+    const std::set<std::string>& needed = alias_needed[i];
+    const auto indexes = catalog.IndexesFor(step.table.table);
+    done.insert(alias);
+
+    std::vector<const sql::Predicate*> equi_joins;
+    for (const ClassifiedPred& cp : preds) {
+      if (cp.IsEquiJoin() && (cp.lhs_alias == alias || cp.rhs_alias == alias) &&
+          done.contains(cp.lhs_alias) && done.contains(cp.rhs_alias)) {
+        equi_joins.push_back(cp.pred);
+      }
+    }
+    // Residual: every predicate that becomes fully bound at this step and is
+    // not consumed by the access path / hash keys.
+    step.path = alias_paths[i];
+    auto becomes_bound_here = [&](const ClassifiedPred& cp) {
+      const bool lhs_ok = cp.lhs_alias < 0 || done.contains(cp.lhs_alias);
+      const bool rhs_ok = cp.rhs_alias < 0 || done.contains(cp.rhs_alias);
+      if (!lhs_ok || !rhs_ok) return false;
+      if (cp.lhs_alias == alias || cp.rhs_alias == alias) return true;
+      // Constant-only predicates attach to the first step.
+      return cp.lhs_alias < 0 && cp.rhs_alias < 0 && pos == 0;
+    };
+    for (const ClassifiedPred& cp : preds) {
+      if (!becomes_bound_here(cp)) continue;
+      const bool consumed_by_path =
+          std::find(step.path.key_preds.begin(), step.path.key_preds.end(),
+                    cp.pred) != step.path.key_preds.end();
+      const bool is_hash_key =
+          std::find(equi_joins.begin(), equi_joins.end(), cp.pred) !=
+          equi_joins.end();
+      if (!consumed_by_path && !is_hash_key) step.residual.push_back(cp.pred);
+    }
+    step.equi_joins = std::move(equi_joins);
+
+    const size_t table_rows = row_count ? row_count(step.table.table) : 0;
+    if (pos == 0) {
+      step.method = PlanStep::Method::kSource;
+      est = alias_est[i];
+    } else {
+      // Try an index nested-loop lookup on the join columns.
+      JoinLookup lookup;
+      if (!options.force_hash_join && !step.equi_joins.empty() &&
+          est <= options.inl_max_outer_rows) {
+        std::vector<std::pair<std::string, sql::Operand>> join_cols;
+        for (const sql::Predicate* p : step.equi_joins) {
+          const int la = OperandAlias(stmt.from, catalog, p->lhs);
+          if (la == alias) {
+            join_cols.emplace_back(p->lhs.column.column, p->rhs);
+          } else {
+            join_cols.emplace_back(p->rhs.column.column, p->lhs);
+          }
+        }
+        auto find_join_col =
+            [&](const std::string& col) -> const sql::Operand* {
+          for (const auto& [c, op] : join_cols) {
+            if (c == col) return &op;
+          }
+          return nullptr;
+        };
+        // Full-PK lookup?
+        bool pk_ok = !step.rel->primary_key.empty();
+        for (const std::string& pk : step.rel->primary_key) {
+          if (find_join_col(pk) == nullptr) {
+            pk_ok = false;
+            break;
+          }
+        }
+        if (pk_ok) {
+          lookup.kind = AccessPath::Kind::kPkGet;
+          for (const std::string& pk : step.rel->primary_key) {
+            lookup.inner_columns.push_back(pk);
+            lookup.outer_operands.push_back(*find_join_col(pk));
+          }
+        } else {
+          // Longest covered-index prefix over join columns.
+          size_t best_len = 0;
+          const sql::IndexDef* best_ix = nullptr;
+          for (const sql::IndexDef* ix : indexes) {
+            if (!Covers(*ix, needed)) continue;
+            size_t len = 0;
+            for (const std::string& col : ix->indexed_columns) {
+              if (find_join_col(col) == nullptr) break;
+              ++len;
+            }
+            if (len > best_len) {
+              best_len = len;
+              best_ix = ix;
+            }
+          }
+          size_t pk_prefix = 0;
+          for (const std::string& pk : step.rel->primary_key) {
+            if (find_join_col(pk) == nullptr) break;
+            ++pk_prefix;
+          }
+          if (best_len > 0 && best_len >= pk_prefix) {
+            lookup.kind = AccessPath::Kind::kIndexPrefixScan;
+            lookup.index_name = best_ix->name;
+            for (size_t k = 0; k < best_len; ++k) {
+              const std::string& col = best_ix->indexed_columns[k];
+              lookup.inner_columns.push_back(col);
+              lookup.outer_operands.push_back(*find_join_col(col));
+            }
+          } else if (pk_prefix > 0) {
+            lookup.kind = AccessPath::Kind::kPkPrefixScan;
+            for (size_t k = 0; k < pk_prefix; ++k) {
+              const std::string& pk = step.rel->primary_key[k];
+              lookup.inner_columns.push_back(pk);
+              lookup.outer_operands.push_back(*find_join_col(pk));
+            }
+          }
+        }
+      }
+      if (!lookup.inner_columns.empty()) {
+        step.method = PlanStep::Method::kIndexNestedLoop;
+        step.lookup = std::move(lookup);
+        // The lookup path replaces the table's access path, so constant
+        // predicates consumed into that (now unused) path must be evaluated
+        // as residuals instead.
+        for (const sql::Predicate* p : step.path.key_preds) {
+          step.residual.push_back(p);
+        }
+        step.path = AccessPath{};
+        // All equi joins must still hold on the combined row (those consumed
+        // by the lookup are trivially true); evaluate them as residuals.
+        for (const sql::Predicate* p : step.equi_joins) {
+          step.residual.push_back(p);
+        }
+        est = std::max(
+            1.0, est * (step.lookup.kind == AccessPath::Kind::kPkGet
+                            ? 1.0
+                            : 10.0));
+      } else {
+        step.method = PlanStep::Method::kHashJoin;
+        const double scan_est =
+            EstimateSourceRows(step.path, catalog, table_rows);
+        est = std::max(1.0, std::max(est, scan_est));
+      }
+    }
+    step.estimated_rows = est;
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+}  // namespace synergy::exec

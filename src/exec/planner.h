@@ -1,0 +1,76 @@
+// Query planner: turns a SELECT into a left-deep pipeline of access paths
+// and join methods, the way Phoenix compiles SQL onto HBase scans.
+//
+// Join order follows the FROM clause (the paper's workloads are written
+// parent-first). Each step is either the pipeline source, a client-side hash
+// join (build on the accumulated intermediate, stream the new table), or an
+// index nested-loop join (per-outer-row Get / index-prefix scan).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+
+namespace synergy::exec {
+
+struct AccessPath {
+  enum class Kind { kPkGet, kPkPrefixScan, kIndexPrefixScan, kFullScan };
+  Kind kind = Kind::kFullScan;
+  std::string index_name;                      // kIndexPrefixScan
+  std::vector<std::string> key_columns;        // consumed equality columns
+  std::vector<const sql::Predicate*> key_preds;  // aligned with key_columns
+
+  std::string Describe() const;
+};
+
+/// Per-outer-row lookup used by index nested-loop joins.
+struct JoinLookup {
+  AccessPath::Kind kind = AccessPath::Kind::kFullScan;
+  std::string index_name;
+  /// Columns of the inner table forming the lookup prefix...
+  std::vector<std::string> inner_columns;
+  /// ...and the outer-side operands supplying their values (column refs
+  /// resolved against the accumulated intermediate row).
+  std::vector<sql::Operand> outer_operands;
+};
+
+struct PlanStep {
+  enum class Method { kSource, kHashJoin, kIndexNestedLoop };
+
+  sql::TableRef table;
+  const sql::RelationDef* rel = nullptr;
+  Method method = Method::kSource;
+  AccessPath path;        // how this table is read (source & hash join)
+  JoinLookup lookup;      // kIndexNestedLoop only
+  std::vector<const sql::Predicate*> equi_joins;  // to prior aliases
+  std::vector<const sql::Predicate*> residual;    // filters + non-equi joins
+  double estimated_rows = 0;  // cardinality estimate after this step
+};
+
+struct SelectPlan {
+  const sql::SelectStatement* stmt = nullptr;
+  std::vector<PlanStep> steps;
+  std::string Explain() const;
+};
+
+struct PlannerOptions {
+  /// Disable index nested-loop (the micro-benchmark's "join algorithm"
+  /// measurement uses full client-side joins).
+  bool force_hash_join = false;
+  /// Max estimated outer rows for which INL is chosen.
+  double inl_max_outer_rows = 2000.0;
+};
+
+/// Row-count oracle for cardinality estimation.
+using RowCountFn = std::function<size_t(const std::string& relation)>;
+
+StatusOr<SelectPlan> PlanSelect(const sql::SelectStatement& stmt,
+                                const sql::Catalog& catalog,
+                                const RowCountFn& row_count,
+                                const PlannerOptions& options = {});
+
+}  // namespace synergy::exec

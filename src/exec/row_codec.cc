@@ -1,0 +1,100 @@
+#include "exec/row_codec.h"
+
+namespace synergy::exec {
+namespace {
+
+Value TupleGet(const Tuple& tuple, const std::string& column) {
+  auto it = tuple.find(column);
+  return it == tuple.end() ? Value() : it->second;
+}
+
+}  // namespace
+
+StatusOr<std::string> EncodePkKey(const sql::RelationDef& rel,
+                                  const Tuple& tuple) {
+  std::vector<Value> pk;
+  pk.reserve(rel.primary_key.size());
+  for (const std::string& col : rel.primary_key) {
+    Value v = TupleGet(tuple, col);
+    if (v.is_null()) {
+      return Status::InvalidArgument("NULL or missing PK column " + col +
+                                     " for relation " + rel.name);
+    }
+    pk.push_back(std::move(v));
+  }
+  return codec::EncodeKey(pk);
+}
+
+std::string EncodePkKeyFromValues(const std::vector<Value>& pk_values) {
+  return codec::EncodeKey(pk_values);
+}
+
+StatusOr<std::string> EncodeIndexKey(const sql::IndexDef& index,
+                                     const sql::RelationDef& rel,
+                                     const Tuple& tuple) {
+  std::vector<Value> parts;
+  parts.reserve(index.indexed_columns.size() + rel.primary_key.size());
+  for (const std::string& col : index.indexed_columns) {
+    parts.push_back(TupleGet(tuple, col));
+  }
+  for (const std::string& col : rel.primary_key) {
+    Value v = TupleGet(tuple, col);
+    if (v.is_null()) {
+      return Status::InvalidArgument("NULL PK column " + col +
+                                     " while building index key");
+    }
+    parts.push_back(std::move(v));
+  }
+  return codec::EncodeKey(parts);
+}
+
+std::pair<std::string, std::string> IndexPrefixRange(
+    const std::vector<Value>& prefix_values) {
+  const std::string start = codec::EncodeKey(prefix_values);
+  return {start, codec::PrefixSuccessor(start)};
+}
+
+std::string EncodeRowValue(const sql::RelationDef& rel, const Tuple& tuple) {
+  std::string out;
+  for (const sql::Column& col : rel.columns) {
+    codec::EncodeValue(TupleGet(tuple, col.name), &out);
+  }
+  return out;
+}
+
+std::string EncodeProjectedValue(const std::vector<std::string>& columns,
+                                 const sql::RelationDef& rel,
+                                 const Tuple& tuple) {
+  (void)rel;
+  std::string out;
+  for (const std::string& col : columns) {
+    codec::EncodeValue(TupleGet(tuple, col), &out);
+  }
+  return out;
+}
+
+StatusOr<Tuple> DecodeRowValue(const std::vector<sql::Column>& columns,
+                               std::string_view bytes) {
+  Tuple tuple;
+  for (const sql::Column& col : columns) {
+    SYNERGY_ASSIGN_OR_RETURN(v, codec::DecodeValue(&bytes, col.type));
+    if (!v.is_null()) tuple.emplace(col.name, std::move(v));
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes in row value");
+  }
+  return tuple;
+}
+
+std::vector<sql::Column> ProjectColumns(const sql::RelationDef& rel,
+                                        const std::vector<std::string>& names) {
+  std::vector<sql::Column> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    out.push_back(
+        sql::Column{name, rel.ColumnType(name).value_or(DataType::kString)});
+  }
+  return out;
+}
+
+}  // namespace synergy::exec

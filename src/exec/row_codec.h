@@ -1,0 +1,62 @@
+// Typed tuple <-> store bytes (the baseline schema transformation, §II-D).
+//
+// A relation row is stored under one data qualifier ("d") holding the
+// self-describing encoding of all column values in schema order (akin to
+// Phoenix's single-cell storage format). The row key is the order-preserving
+// encoding of the PK values. An index row's key is the encoding of the
+// indexed columns followed by the PK; its value covers the index's covered
+// columns.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "sql/catalog.h"
+
+namespace synergy::exec {
+
+/// Column name -> value. Missing columns read back as NULL.
+using Tuple = std::map<std::string, Value>;
+
+/// Data qualifier holding the encoded tuple.
+inline constexpr char kDataQualifier[] = "d";
+/// Dirty-mark qualifier used by the Synergy update protocol (§VIII-B).
+inline constexpr char kMarkQualifier[] = "m";
+
+/// Row key for a base-table tuple: encoded PK values in PK order.
+StatusOr<std::string> EncodePkKey(const sql::RelationDef& rel,
+                                  const Tuple& tuple);
+std::string EncodePkKeyFromValues(const std::vector<Value>& pk_values);
+
+/// Index row key: encoded indexed-column values, then PK values.
+StatusOr<std::string> EncodeIndexKey(const sql::IndexDef& index,
+                                     const sql::RelationDef& rel,
+                                     const Tuple& tuple);
+
+/// Scan bounds [start, stop) for an index-prefix lookup on the first
+/// `prefix_values.size()` indexed columns.
+std::pair<std::string, std::string> IndexPrefixRange(
+    const std::vector<Value>& prefix_values);
+
+/// Serializes the tuple's values for `rel.columns` in schema order.
+std::string EncodeRowValue(const sql::RelationDef& rel, const Tuple& tuple);
+
+/// Serializes only `columns` (for covered index rows).
+std::string EncodeProjectedValue(const std::vector<std::string>& columns,
+                                 const sql::RelationDef& rel,
+                                 const Tuple& tuple);
+
+/// Decodes a row value back into a tuple given the column list used to
+/// encode it (schema order for base rows; covered order for index rows).
+StatusOr<Tuple> DecodeRowValue(const std::vector<sql::Column>& columns,
+                               std::string_view bytes);
+
+/// Column definitions for a projected (index) encoding.
+std::vector<sql::Column> ProjectColumns(
+    const sql::RelationDef& rel, const std::vector<std::string>& names);
+
+}  // namespace synergy::exec

@@ -1,0 +1,198 @@
+#include "exec/table_adapter.h"
+
+namespace synergy::exec {
+
+StatusOr<bool> TupleScanner::Next(TupleWithMeta* out) {
+  hbase::RowResult row;
+  while (scanner_.Next(&row)) {
+    auto data = row.columns.find(kDataQualifier);
+    if (data == row.columns.end()) continue;  // e.g. mark-only residue
+    SYNERGY_ASSIGN_OR_RETURN(tuple, DecodeRowValue(columns_, data->second));
+    out->tuple = std::move(tuple);
+    auto mark = row.columns.find(kMarkQualifier);
+    out->marked = mark != row.columns.end() && mark->second == "1";
+    return true;
+  }
+  return false;
+}
+
+Status TableAdapter::CreateStorage(const std::string& relation) {
+  const sql::RelationDef* rel = catalog_->FindRelation(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  SYNERGY_RETURN_IF_ERROR(cluster_->CreateTable({.name = relation}));
+  for (const sql::IndexDef* ix : catalog_->IndexesFor(relation)) {
+    SYNERGY_RETURN_IF_ERROR(cluster_->CreateTable({.name = ix->name}));
+  }
+  return Status::Ok();
+}
+
+Status TableAdapter::Insert(hbase::Session& s, const std::string& relation,
+                            const Tuple& tuple) {
+  const sql::RelationDef* rel = catalog_->FindRelation(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  SYNERGY_ASSIGN_OR_RETURN(key, EncodePkKey(*rel, tuple));
+  SYNERGY_RETURN_IF_ERROR(cluster_->Put(
+      s, relation, key, {{kDataQualifier, EncodeRowValue(*rel, tuple)}}));
+  return WriteIndexRows(s, *rel, tuple);
+}
+
+Status TableAdapter::WriteIndexRows(hbase::Session& s,
+                                    const sql::RelationDef& rel,
+                                    const Tuple& tuple) {
+  for (const sql::IndexDef* ix : catalog_->IndexesFor(rel.name)) {
+    SYNERGY_ASSIGN_OR_RETURN(ikey, EncodeIndexKey(*ix, rel, tuple));
+    SYNERGY_RETURN_IF_ERROR(cluster_->Put(
+        s, ix->name, ikey,
+        {{kDataQualifier,
+          EncodeProjectedValue(ix->covered_columns, rel, tuple)}}));
+  }
+  return Status::Ok();
+}
+
+Status TableAdapter::DeleteIndexRows(hbase::Session& s,
+                                     const sql::RelationDef& rel,
+                                     const Tuple& tuple) {
+  for (const sql::IndexDef* ix : catalog_->IndexesFor(rel.name)) {
+    SYNERGY_ASSIGN_OR_RETURN(ikey, EncodeIndexKey(*ix, rel, tuple));
+    SYNERGY_RETURN_IF_ERROR(cluster_->Delete(s, ix->name, ikey));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::optional<TupleWithMeta>> TableAdapter::GetByPk(
+    hbase::Session& s, const std::string& relation,
+    const std::vector<Value>& pk_values) {
+  const sql::RelationDef* rel = catalog_->FindRelation(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  const std::string key = EncodePkKeyFromValues(pk_values);
+  StatusOr<hbase::RowResult> row = cluster_->Get(s, relation, key);
+  if (!row.ok()) {
+    if (row.status().code() == StatusCode::kNotFound) {
+      return std::optional<TupleWithMeta>();
+    }
+    return row.status();
+  }
+  auto data = row->columns.find(kDataQualifier);
+  if (data == row->columns.end()) return std::optional<TupleWithMeta>();
+  SYNERGY_ASSIGN_OR_RETURN(tuple, DecodeRowValue(rel->columns, data->second));
+  TupleWithMeta out;
+  out.tuple = std::move(tuple);
+  auto mark = row->columns.find(kMarkQualifier);
+  out.marked = mark != row->columns.end() && mark->second == "1";
+  return std::optional<TupleWithMeta>(std::move(out));
+}
+
+Status TableAdapter::DeleteByPk(hbase::Session& s, const std::string& relation,
+                                const std::vector<Value>& pk_values) {
+  const sql::RelationDef* rel = catalog_->FindRelation(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  SYNERGY_ASSIGN_OR_RETURN(existing, GetByPk(s, relation, pk_values));
+  if (!existing.has_value()) return Status::Ok();
+  SYNERGY_RETURN_IF_ERROR(DeleteIndexRows(s, *rel, existing->tuple));
+  return cluster_->Delete(s, relation, EncodePkKeyFromValues(pk_values));
+}
+
+Status TableAdapter::UpdateByPk(
+    hbase::Session& s, const std::string& relation,
+    const std::vector<Value>& pk_values,
+    const std::vector<std::pair<std::string, Value>>& sets) {
+  const sql::RelationDef* rel = catalog_->FindRelation(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  for (const auto& [col, value] : sets) {
+    if (rel->IsPrimaryKeyColumn(col)) {
+      return Status::InvalidArgument("cannot update PK column " + col);
+    }
+    if (!rel->HasColumn(col)) {
+      return Status::InvalidArgument("unknown column " + col);
+    }
+  }
+  SYNERGY_ASSIGN_OR_RETURN(existing, GetByPk(s, relation, pk_values));
+  if (!existing.has_value()) {
+    return Status::Ok();  // SQL UPDATE of an absent row affects zero rows
+  }
+  // Remove stale index rows if any indexed column changes.
+  Tuple updated = existing->tuple;
+  for (const auto& [col, value] : sets) {
+    if (value.is_null()) {
+      updated.erase(col);
+    } else {
+      updated[col] = value;
+    }
+  }
+  for (const sql::IndexDef* ix : catalog_->IndexesFor(relation)) {
+    SYNERGY_ASSIGN_OR_RETURN(old_key, EncodeIndexKey(*ix, *rel, existing->tuple));
+    SYNERGY_ASSIGN_OR_RETURN(new_key, EncodeIndexKey(*ix, *rel, updated));
+    if (old_key != new_key) {
+      SYNERGY_RETURN_IF_ERROR(cluster_->Delete(s, ix->name, old_key));
+    }
+    SYNERGY_RETURN_IF_ERROR(cluster_->Put(
+        s, ix->name, new_key,
+        {{kDataQualifier,
+          EncodeProjectedValue(ix->covered_columns, *rel, updated)}}));
+  }
+  return cluster_->Put(
+      s, relation, EncodePkKeyFromValues(pk_values),
+      {{kDataQualifier, EncodeRowValue(*rel, updated)}});
+}
+
+StatusOr<TupleScanner> TableAdapter::ScanAll(hbase::Session& s,
+                                             const std::string& relation) {
+  const sql::RelationDef* rel = catalog_->FindRelation(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  SYNERGY_ASSIGN_OR_RETURN(scanner, cluster_->OpenScanner(s, relation));
+  return TupleScanner(std::move(scanner), rel->columns);
+}
+
+StatusOr<TupleScanner> TableAdapter::ScanIndexPrefix(
+    hbase::Session& s, const std::string& index_name,
+    const std::vector<Value>& prefix) {
+  const sql::IndexDef* ix = catalog_->FindIndex(index_name);
+  if (ix == nullptr) return Status::NotFound("index " + index_name);
+  const sql::RelationDef* rel = catalog_->FindRelation(ix->relation);
+  if (rel == nullptr) return Status::NotFound("relation " + ix->relation);
+  auto [start, stop] = IndexPrefixRange(prefix);
+  SYNERGY_ASSIGN_OR_RETURN(scanner,
+                           cluster_->OpenScanner(s, index_name, start, stop));
+  return TupleScanner(std::move(scanner),
+                      ProjectColumns(*rel, ix->covered_columns));
+}
+
+StatusOr<TupleScanner> TableAdapter::ScanPkPrefix(
+    hbase::Session& s, const std::string& relation,
+    const std::vector<Value>& prefix) {
+  const sql::RelationDef* rel = catalog_->FindRelation(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  auto [start, stop] = IndexPrefixRange(prefix);
+  SYNERGY_ASSIGN_OR_RETURN(scanner,
+                           cluster_->OpenScanner(s, relation, start, stop));
+  return TupleScanner(std::move(scanner), rel->columns);
+}
+
+Status TableAdapter::MarkRow(hbase::Session& s, const std::string& relation,
+                             const std::vector<Value>& pk_values, bool marked) {
+  return cluster_->Put(s, relation, EncodePkKeyFromValues(pk_values),
+                       {{kMarkQualifier, marked ? "1" : "0"}});
+}
+
+Status TableAdapter::SetMarkWithIndexes(hbase::Session& s,
+                                        const std::string& relation,
+                                        const std::vector<Value>& pk_values,
+                                        bool marked) {
+  const sql::RelationDef* rel = catalog_->FindRelation(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  SYNERGY_RETURN_IF_ERROR(MarkRow(s, relation, pk_values, marked));
+  SYNERGY_ASSIGN_OR_RETURN(existing, GetByPk(s, relation, pk_values));
+  if (!existing.has_value()) return Status::Ok();
+  for (const sql::IndexDef* ix : catalog_->IndexesFor(relation)) {
+    SYNERGY_ASSIGN_OR_RETURN(ikey, EncodeIndexKey(*ix, *rel, existing->tuple));
+    SYNERGY_RETURN_IF_ERROR(cluster_->Put(
+        s, ix->name, ikey, {{kMarkQualifier, marked ? "1" : "0"}}));
+  }
+  return Status::Ok();
+}
+
+size_t TableAdapter::RowCount(const std::string& relation) const {
+  return cluster_->ApproxRowCount(relation);
+}
+
+}  // namespace synergy::exec

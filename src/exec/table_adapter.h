@@ -1,0 +1,106 @@
+// Typed access to relations (base tables, views, indexes) stored in the
+// cluster. One adapter per (cluster, catalog) pair; sessions carry cost.
+//
+// All write paths maintain the relation's covered indexes, mirroring how
+// Phoenix keeps index tables in sync with data tables.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/row_codec.h"
+#include "hbase/cluster.h"
+#include "sql/catalog.h"
+
+namespace synergy::exec {
+
+struct TupleWithMeta {
+  Tuple tuple;
+  bool marked = false;  // dirty-mark set by an in-flight Synergy update
+};
+
+/// Streaming typed scan over a relation or one of its indexes.
+class TupleScanner {
+ public:
+  /// Returns false at end of stream; Status error on decode failure.
+  StatusOr<bool> Next(TupleWithMeta* out);
+
+ private:
+  friend class TableAdapter;
+  TupleScanner(hbase::Scanner scanner, std::vector<sql::Column> columns)
+      : scanner_(std::move(scanner)), columns_(std::move(columns)) {}
+
+  hbase::Scanner scanner_;
+  std::vector<sql::Column> columns_;
+};
+
+class TableAdapter {
+ public:
+  TableAdapter(hbase::Cluster* cluster, const sql::Catalog* catalog)
+      : cluster_(cluster), catalog_(catalog) {}
+
+  const sql::Catalog& catalog() const { return *catalog_; }
+  hbase::Cluster* cluster() const { return cluster_; }
+
+  /// Creates store tables for a relation and all its indexes.
+  Status CreateStorage(const std::string& relation);
+
+  /// Inserts a tuple and its index rows. Does not check uniqueness.
+  Status Insert(hbase::Session& s, const std::string& relation,
+                const Tuple& tuple);
+
+  /// Point lookup by primary key values.
+  StatusOr<std::optional<TupleWithMeta>> GetByPk(
+      hbase::Session& s, const std::string& relation,
+      const std::vector<Value>& pk_values);
+
+  /// Deletes the row and its index rows (reads the row first to build index
+  /// keys, as in §VII-B). No-op if absent.
+  Status DeleteByPk(hbase::Session& s, const std::string& relation,
+                    const std::vector<Value>& pk_values);
+
+  /// Read-modify-write of non-PK columns; maintains affected index rows.
+  Status UpdateByPk(hbase::Session& s, const std::string& relation,
+                    const std::vector<Value>& pk_values,
+                    const std::vector<std::pair<std::string, Value>>& sets);
+
+  /// Full-relation scan.
+  StatusOr<TupleScanner> ScanAll(hbase::Session& s,
+                                 const std::string& relation);
+
+  /// Range scan of an index by equality prefix on its indexed columns.
+  StatusOr<TupleScanner> ScanIndexPrefix(hbase::Session& s,
+                                         const std::string& index_name,
+                                         const std::vector<Value>& prefix);
+
+  /// Range scan of the base table by PK prefix.
+  StatusOr<TupleScanner> ScanPkPrefix(hbase::Session& s,
+                                      const std::string& relation,
+                                      const std::vector<Value>& prefix);
+
+  /// Dirty-mark protocol (§VIII-B): set/clear the mark column on the row.
+  Status MarkRow(hbase::Session& s, const std::string& relation,
+                 const std::vector<Value>& pk_values, bool marked);
+
+  /// Marks/unmarks the row and all of its index rows (the paper marks both
+  /// views and view-indexes before an update).
+  Status SetMarkWithIndexes(hbase::Session& s, const std::string& relation,
+                            const std::vector<Value>& pk_values, bool marked);
+
+  size_t RowCount(const std::string& relation) const;
+
+ private:
+  Status WriteIndexRows(hbase::Session& s, const sql::RelationDef& rel,
+                        const Tuple& tuple);
+  Status DeleteIndexRows(hbase::Session& s, const sql::RelationDef& rel,
+                         const Tuple& tuple);
+
+  hbase::Cluster* cluster_;
+  const sql::Catalog* catalog_;
+};
+
+}  // namespace synergy::exec

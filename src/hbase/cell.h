@@ -1,0 +1,59 @@
+// Cells, versions and rows for the column-family store.
+//
+// Mirrors HBase's data model: a row is a set of (column qualifier -> cell)
+// entries, each cell holding multiple timestamped versions sorted newest
+// first. Deletes write tombstone versions that major compaction removes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace synergy::hbase {
+
+struct CellVersion {
+  int64_t timestamp = 0;
+  std::string value;
+  bool tombstone = false;
+};
+
+/// Versions of one column, newest (highest timestamp) first.
+class Cell {
+ public:
+  /// Inserts a version, keeping descending timestamp order. Equal timestamps
+  /// overwrite (HBase semantics: same coordinates replace).
+  void AddVersion(CellVersion v);
+
+  /// Latest non-tombstone version, or nullopt if deleted/absent.
+  std::optional<std::string> Latest() const;
+
+  /// Latest version visible at or below `ts` that passes `visible` (which may
+  /// be null). Tombstones hide older versions.
+  std::optional<std::string> LatestVisible(
+      int64_t ts, const std::vector<int64_t>* exclude_ids) const;
+
+  const std::vector<CellVersion>& versions() const { return versions_; }
+
+  /// Drops tombstones and versions beyond `max_versions`. Returns bytes freed.
+  size_t Compact(int max_versions);
+
+  size_t ByteSize() const;
+
+ private:
+  std::vector<CellVersion> versions_;
+};
+
+/// A full row: qualifier -> cell. Row keys live in the enclosing Region map.
+using RowData = std::map<std::string, Cell>;
+
+/// Client-visible snapshot of one row (already version-resolved).
+struct RowResult {
+  std::string row_key;
+  std::map<std::string, std::string> columns;
+  bool empty() const { return columns.empty(); }
+  size_t PayloadBytes() const;
+};
+
+}  // namespace synergy::hbase

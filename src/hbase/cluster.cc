@@ -1,0 +1,216 @@
+#include "hbase/cluster.h"
+
+#include <cmath>
+
+namespace synergy::hbase {
+
+Status Cluster::CreateTable(const TableDescriptor& desc,
+                            const std::vector<std::string>& split_keys) {
+  std::lock_guard lock(tables_mutex_);
+  if (tables_.contains(desc.name)) {
+    return Status::AlreadyExists("table " + desc.name);
+  }
+  tables_.emplace(desc.name,
+                  std::make_unique<Table>(desc, split_keys, &clock_));
+  return Status::Ok();
+}
+
+Status Cluster::DropTable(const std::string& name) {
+  std::lock_guard lock(tables_mutex_);
+  if (tables_.erase(name) == 0) return Status::NotFound("table " + name);
+  return Status::Ok();
+}
+
+bool Cluster::HasTable(const std::string& name) const {
+  std::lock_guard lock(tables_mutex_);
+  return tables_.contains(name);
+}
+
+std::vector<std::string> Cluster::TableNames() const {
+  std::lock_guard lock(tables_mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+StatusOr<Table*> Cluster::FindTable(const std::string& name) const {
+  std::lock_guard lock(tables_mutex_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.get();
+}
+
+Status Cluster::Put(
+    Session& s, const std::string& table, const std::string& row_key,
+    const std::vector<std::pair<std::string, std::string>>& columns,
+    std::optional<int64_t> ts) {
+  SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
+  size_t payload = row_key.size();
+  for (const auto& [qual, value] : columns) payload += qual.size() + value.size();
+  s.meter().Charge(sim::RpcCost(model_, payload) + model_.server_seek_us);
+  t->RouteKey(row_key)->Put(row_key, columns, ts);
+  return Status::Ok();
+}
+
+StatusOr<RowResult> Cluster::Get(Session& s, const std::string& table,
+                                 const std::string& row_key) {
+  SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
+  std::optional<RowResult> row =
+      t->RouteKey(row_key)->Get(row_key, s.read_view());
+  const size_t payload = row.has_value() ? row->PayloadBytes() : 0;
+  s.meter().Charge(sim::RpcCost(model_, payload) + model_.server_seek_us);
+  if (!row.has_value()) {
+    return Status::NotFound("row in " + table);
+  }
+  return std::move(*row);
+}
+
+Status Cluster::Delete(Session& s, const std::string& table,
+                       const std::string& row_key, std::optional<int64_t> ts) {
+  SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
+  s.meter().Charge(sim::RpcCost(model_, row_key.size()) +
+                   model_.server_seek_us);
+  t->RouteKey(row_key)->Delete(row_key, ts);
+  return Status::Ok();
+}
+
+StatusOr<bool> Cluster::CheckAndPut(Session& s, const std::string& table,
+                                    const std::string& row_key,
+                                    const std::string& qualifier,
+                                    const std::optional<std::string>& expected,
+                                    const std::string& new_value) {
+  SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
+  s.meter().Charge(model_.lock_rpc_us);
+  return t->RouteKey(row_key)->CheckAndPut(row_key, qualifier, expected,
+                                           new_value);
+}
+
+StatusOr<int64_t> Cluster::Increment(Session& s, const std::string& table,
+                                     const std::string& row_key,
+                                     const std::string& qualifier,
+                                     int64_t delta) {
+  SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
+  s.meter().Charge(sim::RpcCost(model_, row_key.size() + 16) +
+                   model_.server_seek_us);
+  return t->RouteKey(row_key)->Increment(row_key, qualifier, delta);
+}
+
+StatusOr<Scanner> Cluster::OpenScanner(Session& s, const std::string& table,
+                                       const std::string& start,
+                                       const std::string& stop) {
+  SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
+  (void)t;
+  return Scanner(this, &s, table, start, stop,
+                 static_cast<size_t>(model_.scan_batch_rows));
+}
+
+StatusOr<ScanBatchResult> Cluster::ScanBatchRpc(Session& s,
+                                                const std::string& table,
+                                                const std::string& from,
+                                                const std::string& stop,
+                                                size_t limit) {
+  SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
+  Region* region = t->RouteScanStart(from);
+  ScanBatchResult batch = region->ScanBatch(from, stop, limit, s.read_view());
+  // If the region was exhausted but the table continues, resume from the
+  // region's end key on the next RPC.
+  if (batch.exhausted && !region->end_key().empty() &&
+      (stop.empty() || region->end_key() < stop)) {
+    batch.exhausted = false;
+    batch.next_start_key = region->end_key();
+  }
+  size_t payload = 0;
+  for (const RowResult& row : batch.rows) payload += row.PayloadBytes();
+  double cost = sim::RpcCost(model_, payload) +
+                model_.server_scan_row_us *
+                    static_cast<double>(batch.rows_examined) +
+                model_.client_row_us * static_cast<double>(batch.rows.size());
+  if (s.read_view().exclude != nullptr) {
+    // MVCC visibility filtering work per examined row.
+    cost += model_.mvcc_read_filter_row_us *
+            static_cast<double>(batch.rows_examined);
+  }
+  s.meter().Charge(cost);
+  return batch;
+}
+
+bool Scanner::FetchBatch() {
+  while (!exhausted_) {
+    StatusOr<ScanBatchResult> batch =
+        cluster_->ScanBatchRpc(*session_, table_, next_start_, stop_,
+                               batch_rows_);
+    if (!batch.ok()) {
+      exhausted_ = true;
+      return false;
+    }
+    buffer_ = std::move(batch->rows);
+    buffer_pos_ = 0;
+    if (batch->exhausted) {
+      exhausted_ = true;
+    } else {
+      // Resume strictly after the last delivered row, or at the region
+      // boundary if the batch ended at one.
+      next_start_ = batch->next_start_key;
+      if (next_start_.empty()) {
+        if (buffer_.empty()) {
+          exhausted_ = true;
+        } else {
+          next_start_ = buffer_.back().row_key + std::string(1, '\0');
+        }
+      }
+    }
+    if (!buffer_.empty()) return true;
+  }
+  return false;
+}
+
+bool Scanner::Next(RowResult* out) {
+  if (buffer_pos_ >= buffer_.size() && !FetchBatch()) return false;
+  *out = std::move(buffer_[buffer_pos_++]);
+  ++rows_returned_;
+  return true;
+}
+
+void Cluster::MajorCompactAll() {
+  std::lock_guard lock(tables_mutex_);
+  for (auto& [name, table] : tables_) table->MajorCompact();
+}
+
+void Cluster::MaybeSplitAll() {
+  std::lock_guard lock(tables_mutex_);
+  for (auto& [name, table] : tables_) table->MaybeSplit();
+}
+
+std::vector<TableSizeInfo> Cluster::SizeReport() const {
+  std::lock_guard lock(tables_mutex_);
+  std::vector<TableSizeInfo> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    TableSizeInfo info;
+    info.name = name;
+    info.rows = table->RowCount();
+    info.regions = table->RegionCount();
+    const size_t raw = table->ByteSize();
+    // Approximate HFile framing: per-cell key/cf/qualifier/timestamp overhead.
+    info.bytes = raw + static_cast<size_t>(
+                           model_.hbase_overhead_per_cell *
+                           static_cast<double>(info.rows) * 4.0);
+    out.push_back(info);
+  }
+  return out;
+}
+
+size_t Cluster::ApproxRowCount(const std::string& table) const {
+  StatusOr<Table*> t = FindTable(table);
+  if (!t.ok()) return 0;
+  return (*t)->ApproxRowCount();
+}
+
+size_t Cluster::TotalBytes() const {
+  size_t total = 0;
+  for (const TableSizeInfo& info : SizeReport()) total += info.bytes;
+  return total;
+}
+
+}  // namespace synergy::hbase

@@ -1,0 +1,159 @@
+// The simulated HBase cluster: table catalog, region-server inventory, and
+// the client API (Get/Put/Scan/Delete/Increment/CheckAndPut).
+//
+// Every operation goes through a Session, which carries the client's virtual
+// CostMeter and optional MVCC read view. The store itself is thread-safe;
+// sessions are not (one per logical client).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hbase/table.h"
+#include "sim/cost_model.h"
+
+namespace synergy::hbase {
+
+class Cluster;
+
+/// A logical client connection: owns the virtual-time meter and read view.
+class Session {
+ public:
+  explicit Session(Cluster* cluster) : cluster_(cluster) {}
+
+  Cluster* cluster() const { return cluster_; }
+  sim::CostMeter& meter() { return meter_; }
+  const sim::CostMeter& meter() const { return meter_; }
+
+  /// MVCC visibility: read timestamp + excluded (in-flight/invalid) txn ids.
+  void SetReadView(ReadView view) { view_ = view; }
+  void ClearReadView() { view_ = ReadView{}; }
+  const ReadView& read_view() const { return view_; }
+
+ private:
+  Cluster* cluster_;
+  sim::CostMeter meter_;
+  ReadView view_;
+};
+
+/// Streaming scanner with per-batch RPC cost accounting. Obtain via
+/// Cluster::OpenScanner; iterate with Next until it returns false.
+class Scanner {
+ public:
+  /// Advances to the next row; returns false when the scan is exhausted.
+  bool Next(RowResult* out);
+
+  size_t rows_returned() const { return rows_returned_; }
+
+ private:
+  friend class Cluster;
+  Scanner(Cluster* cluster, Session* session, std::string table,
+          std::string start, std::string stop, size_t batch_rows)
+      : cluster_(cluster),
+        session_(session),
+        table_(std::move(table)),
+        next_start_(std::move(start)),
+        stop_(std::move(stop)),
+        batch_rows_(batch_rows) {}
+
+  bool FetchBatch();
+
+  Cluster* cluster_;
+  Session* session_;
+  std::string table_;
+  std::string next_start_;
+  std::string stop_;
+  size_t batch_rows_;
+  std::vector<RowResult> buffer_;
+  size_t buffer_pos_ = 0;
+  bool exhausted_ = false;
+  size_t rows_returned_ = 0;
+};
+
+struct TableSizeInfo {
+  std::string name;
+  size_t rows = 0;
+  size_t bytes = 0;  // includes per-cell HBase framing overhead
+  size_t regions = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(sim::CostModel model = sim::CostModel::Ec2Like(),
+                   int num_region_servers = 5)
+      : model_(model), num_region_servers_(num_region_servers) {}
+
+  const sim::CostModel& cost_model() const { return model_; }
+  int num_region_servers() const { return num_region_servers_; }
+
+  /// Monotonic logical timestamp source (shared by all writers).
+  int64_t NextTimestamp() { return clock_.fetch_add(1) + 1; }
+
+  // --- DDL ---
+  Status CreateTable(const TableDescriptor& desc,
+                     const std::vector<std::string>& split_keys = {});
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // --- DML (all charge virtual time to the session) ---
+  Status Put(Session& s, const std::string& table, const std::string& row_key,
+             const std::vector<std::pair<std::string, std::string>>& columns,
+             std::optional<int64_t> ts = std::nullopt);
+
+  StatusOr<RowResult> Get(Session& s, const std::string& table,
+                          const std::string& row_key);
+
+  Status Delete(Session& s, const std::string& table,
+                const std::string& row_key,
+                std::optional<int64_t> ts = std::nullopt);
+
+  StatusOr<bool> CheckAndPut(Session& s, const std::string& table,
+                             const std::string& row_key,
+                             const std::string& qualifier,
+                             const std::optional<std::string>& expected,
+                             const std::string& new_value);
+
+  StatusOr<int64_t> Increment(Session& s, const std::string& table,
+                              const std::string& row_key,
+                              const std::string& qualifier, int64_t delta);
+
+  /// Scan rows with key in [start, stop); empty stop = to end of table.
+  StatusOr<Scanner> OpenScanner(Session& s, const std::string& table,
+                                const std::string& start = "",
+                                const std::string& stop = "");
+
+  // --- admin ---
+  void MajorCompactAll();
+  void MaybeSplitAll();
+  std::vector<TableSizeInfo> SizeReport() const;
+  size_t TotalBytes() const;
+  /// Cheap per-table row count for planner estimates (O(#regions)).
+  size_t ApproxRowCount(const std::string& table) const;
+
+ private:
+  friend class Scanner;
+
+  StatusOr<Table*> FindTable(const std::string& name) const;
+
+  /// One scan RPC: fetch up to `limit` visible rows starting at `from`.
+  StatusOr<ScanBatchResult> ScanBatchRpc(Session& s, const std::string& table,
+                                         const std::string& from,
+                                         const std::string& stop,
+                                         size_t limit);
+
+  sim::CostModel model_;
+  int num_region_servers_;
+  std::atomic<int64_t> clock_{0};
+  mutable std::mutex tables_mutex_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace synergy::hbase

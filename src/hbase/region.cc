@@ -1,0 +1,197 @@
+#include "hbase/region.h"
+
+#include <charconv>
+#include <mutex>
+
+namespace synergy::hbase {
+namespace {
+
+std::optional<RowResult> ResolveRow(const std::string& key, const RowData& row,
+                                    const ReadView& view) {
+  RowResult out;
+  out.row_key = key;
+  for (const auto& [qual, cell] : row) {
+    std::optional<std::string> v = cell.LatestVisible(view.read_ts, view.exclude);
+    if (v.has_value()) out.columns.emplace(qual, std::move(*v));
+  }
+  if (out.columns.empty()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+void Region::Put(
+    const std::string& row_key,
+    const std::vector<std::pair<std::string, std::string>>& columns,
+    std::optional<int64_t> ts) {
+  std::unique_lock lock(mutex_);
+  const int64_t t = AllocTs(ts);
+  RowData& row = rows_[row_key];
+  for (const auto& [qual, value] : columns) {
+    row[qual].AddVersion(CellVersion{t, value, /*tombstone=*/false});
+  }
+}
+
+void Region::Delete(const std::string& row_key, std::optional<int64_t> ts) {
+  std::unique_lock lock(mutex_);
+  auto it = rows_.find(row_key);
+  if (it == rows_.end()) return;
+  const int64_t t = AllocTs(ts);
+  for (auto& [qual, cell] : it->second) {
+    cell.AddVersion(CellVersion{t, "", /*tombstone=*/true});
+  }
+}
+
+void Region::DeleteColumn(const std::string& row_key,
+                          const std::string& qualifier,
+                          std::optional<int64_t> ts) {
+  std::unique_lock lock(mutex_);
+  auto it = rows_.find(row_key);
+  if (it == rows_.end()) return;
+  auto cit = it->second.find(qualifier);
+  if (cit == it->second.end()) return;
+  cit->second.AddVersion(CellVersion{AllocTs(ts), "", /*tombstone=*/true});
+}
+
+std::optional<RowResult> Region::Get(const std::string& row_key,
+                                     const ReadView& view) const {
+  std::shared_lock lock(mutex_);
+  auto it = rows_.find(row_key);
+  if (it == rows_.end()) return std::nullopt;
+  return ResolveRow(row_key, it->second, view);
+}
+
+bool Region::CheckAndPut(const std::string& row_key,
+                         const std::string& qualifier,
+                         const std::optional<std::string>& expected,
+                         const std::string& new_value) {
+  std::unique_lock lock(mutex_);
+  RowData& row = rows_[row_key];
+  std::optional<std::string> current;
+  auto cit = row.find(qualifier);
+  if (cit != row.end()) current = cit->second.Latest();
+  if (current != expected) return false;
+  row[qualifier].AddVersion(
+      CellVersion{AllocTs(std::nullopt), new_value, /*tombstone=*/false});
+  return true;
+}
+
+StatusOr<int64_t> Region::Increment(const std::string& row_key,
+                                    const std::string& qualifier,
+                                    int64_t delta) {
+  std::unique_lock lock(mutex_);
+  RowData& row = rows_[row_key];
+  int64_t current = 0;
+  auto cit = row.find(qualifier);
+  if (cit != row.end()) {
+    std::optional<std::string> v = cit->second.Latest();
+    if (v.has_value()) {
+      auto [ptr, ec] =
+          std::from_chars(v->data(), v->data() + v->size(), current);
+      if (ec != std::errc{}) {
+        return Status::InvalidArgument("Increment on non-integer column");
+      }
+    }
+  }
+  const int64_t next = current + delta;
+  row[qualifier].AddVersion(CellVersion{AllocTs(std::nullopt),
+                                        std::to_string(next),
+                                        /*tombstone=*/false});
+  return next;
+}
+
+ScanBatchResult Region::ScanBatch(const std::string& from,
+                                  const std::string& stop, size_t limit,
+                                  const ReadView& view) const {
+  std::shared_lock lock(mutex_);
+  ScanBatchResult out;
+  auto it = rows_.lower_bound(std::max(from, start_key_));
+  for (; it != rows_.end(); ++it) {
+    if (!end_key_.empty() && it->first >= end_key_) break;
+    if (!stop.empty() && it->first >= stop) break;
+    ++out.rows_examined;
+    std::optional<RowResult> row = ResolveRow(it->first, it->second, view);
+    if (row.has_value()) {
+      out.rows.push_back(std::move(*row));
+      if (out.rows.size() >= limit) {
+        ++it;
+        break;
+      }
+    }
+  }
+  if (it == rows_.end() || (!end_key_.empty() && it->first >= end_key_) ||
+      (!stop.empty() && it->first >= stop)) {
+    out.exhausted = true;
+  } else {
+    out.next_start_key = it->first;
+  }
+  return out;
+}
+
+void Region::MajorCompact(int max_versions) {
+  std::unique_lock lock(mutex_);
+  for (auto row_it = rows_.begin(); row_it != rows_.end();) {
+    RowData& row = row_it->second;
+    for (auto cell_it = row.begin(); cell_it != row.end();) {
+      cell_it->second.Compact(max_versions);
+      if (cell_it->second.versions().empty()) {
+        cell_it = row.erase(cell_it);
+      } else {
+        ++cell_it;
+      }
+    }
+    if (row.empty()) {
+      row_it = rows_.erase(row_it);
+    } else {
+      ++row_it;
+    }
+  }
+}
+
+size_t Region::RowCount() const {
+  std::shared_lock lock(mutex_);
+  size_t live = 0;
+  for (const auto& [key, row] : rows_) {
+    for (const auto& [qual, cell] : row) {
+      if (cell.Latest().has_value()) {
+        ++live;
+        break;
+      }
+    }
+  }
+  return live;
+}
+
+size_t Region::ByteSize() const {
+  std::shared_lock lock(mutex_);
+  size_t total = 0;
+  for (const auto& [key, row] : rows_) {
+    total += key.size();
+    for (const auto& [qual, cell] : row) total += qual.size() + cell.ByteSize();
+  }
+  return total;
+}
+
+size_t Region::ApproxRowCount() const {
+  std::shared_lock lock(mutex_);
+  return rows_.size();
+}
+
+std::string Region::MedianKey() const {
+  std::shared_lock lock(mutex_);
+  if (rows_.size() < 2) return {};
+  auto it = rows_.begin();
+  std::advance(it, rows_.size() / 2);
+  return it->first;
+}
+
+void Region::SplitInto(const std::string& split, Region* right) {
+  std::unique_lock lock(mutex_);
+  std::unique_lock rlock(right->mutex_);
+  auto it = rows_.lower_bound(split);
+  right->rows_.insert(std::make_move_iterator(it),
+                      std::make_move_iterator(rows_.end()));
+  rows_.erase(it, rows_.end());
+}
+
+}  // namespace synergy::hbase

@@ -1,0 +1,117 @@
+// A region: one contiguous row-key range of a table, with its own latch.
+//
+// Regions provide the atomicity granule of the store: single-row operations
+// (Put/Get/Delete/CheckAndPut/Increment) are atomic under the region latch,
+// matching HBase's row-level atomicity guarantees.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hbase/cell.h"
+
+namespace synergy::hbase {
+
+/// Visibility control for reads: resolve versions at/below `read_ts`,
+/// skipping versions whose timestamp is in `exclude` (MVCC invalid list).
+struct ReadView {
+  int64_t read_ts = INT64_MAX;
+  const std::vector<int64_t>* exclude = nullptr;
+};
+
+struct ScanBatchResult {
+  std::vector<RowResult> rows;
+  std::string next_start_key;  // exclusive resume point; empty => exhausted
+  bool exhausted = false;
+  size_t rows_examined = 0;  // server-side work including filtered rows
+};
+
+class Region {
+ public:
+  /// `clock` allocates write timestamps *inside* the region latch when the
+  /// caller does not supply one, guaranteeing per-cell monotonicity under
+  /// concurrency (a pre-allocated timestamp could be written after a newer
+  /// one and be silently hidden).
+  Region(std::string start_key, std::string end_key,
+         std::atomic<int64_t>* clock)
+      : start_key_(std::move(start_key)), end_key_(std::move(end_key)),
+        clock_(clock) {}
+
+  const std::string& start_key() const { return start_key_; }
+  const std::string& end_key() const { return end_key_; }
+
+  /// Key containment: [start_key, end_key); empty end_key = unbounded.
+  bool Contains(const std::string& key) const {
+    return key >= start_key_ && (end_key_.empty() || key < end_key_);
+  }
+
+  /// ts == nullopt allocates from the clock inside the latch (the normal
+  /// path); explicit timestamps are for MVCC writes tagged with a txid.
+  void Put(const std::string& row_key,
+           const std::vector<std::pair<std::string, std::string>>& columns,
+           std::optional<int64_t> ts = std::nullopt);
+
+  void Delete(const std::string& row_key,
+              std::optional<int64_t> ts = std::nullopt);
+  void DeleteColumn(const std::string& row_key, const std::string& qualifier,
+                    std::optional<int64_t> ts = std::nullopt);
+
+  std::optional<RowResult> Get(const std::string& row_key,
+                               const ReadView& view) const;
+
+  /// Atomic compare-and-set: writes iff the current latest value of
+  /// `qualifier` equals `expected` (nullopt expected == column absent).
+  bool CheckAndPut(const std::string& row_key, const std::string& qualifier,
+                   const std::optional<std::string>& expected,
+                   const std::string& new_value);
+
+  /// Atomic add on a decimal-encoded integer column; returns new value.
+  StatusOr<int64_t> Increment(const std::string& row_key,
+                              const std::string& qualifier, int64_t delta);
+
+  /// Returns up to `limit` rows with key in [from, end) ∩ [start_key_,
+  /// end_key_), resolved through `view`. Rows with no visible cells are
+  /// skipped but counted in rows_examined.
+  ScanBatchResult ScanBatch(const std::string& from, const std::string& stop,
+                            size_t limit, const ReadView& view) const;
+
+  /// Drops tombstones/excess versions; removes rows left empty.
+  void MajorCompact(int max_versions);
+
+  /// Number of live rows (rows whose cells are all tombstoned don't count).
+  size_t RowCount() const;
+  /// O(1) row count including not-yet-compacted deleted rows (planner
+  /// estimates; exact liveness does not matter there).
+  size_t ApproxRowCount() const;
+  size_t ByteSize() const;
+
+  /// Median row key, for region splits. Empty if too few rows.
+  std::string MedianKey() const;
+
+  /// Moves rows with key >= split into `right`. Caller fixes key ranges.
+  void SplitInto(const std::string& split, Region* right);
+
+  /// Shrinks this region's upper bound after a split.
+  void SetEndKey(std::string end_key) { end_key_ = std::move(end_key); }
+
+ private:
+  int64_t AllocTs(std::optional<int64_t> ts) {
+    return ts.has_value() ? *ts : clock_->fetch_add(1) + 1;
+  }
+
+  std::string start_key_;
+  std::string end_key_;
+  std::atomic<int64_t>* clock_;
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, RowData> rows_;
+};
+
+}  // namespace synergy::hbase

@@ -1,0 +1,54 @@
+// A table: ordered set of regions covering the full key space.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hbase/region.h"
+
+namespace synergy::hbase {
+
+struct TableDescriptor {
+  std::string name;
+  std::string column_family = "cf";
+  int max_versions = 3;
+  // Auto-split threshold (rows per region); 0 disables auto-split.
+  size_t split_threshold_rows = 250000;
+};
+
+class Table {
+ public:
+  Table(TableDescriptor desc, const std::vector<std::string>& split_keys,
+        std::atomic<int64_t>* clock);
+
+  const TableDescriptor& descriptor() const { return desc_; }
+
+  /// Region responsible for `key`. The returned pointer remains valid for the
+  /// table's lifetime (regions are never destroyed, only split).
+  Region* RouteKey(const std::string& key);
+  const Region* RouteKey(const std::string& key) const;
+
+  /// First region whose range intersects keys >= `key`.
+  Region* RouteScanStart(const std::string& key);
+
+  size_t RegionCount() const;
+  size_t RowCount() const;
+  size_t ApproxRowCount() const;
+  size_t ByteSize() const;
+
+  void MajorCompact();
+
+  /// Splits any region exceeding the descriptor threshold at its median key.
+  void MaybeSplit();
+
+ private:
+  TableDescriptor desc_;
+  std::atomic<int64_t>* clock_;
+  mutable std::shared_mutex mutex_;  // guards regions_ topology
+  std::vector<std::unique_ptr<Region>> regions_;  // sorted by start_key
+};
+
+}  // namespace synergy::hbase

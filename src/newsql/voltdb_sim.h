@@ -1,0 +1,81 @@
+// VoltDB-like NewSQL engine simulation.
+//
+// Models what matters for the paper's comparison: in-memory speed (tiny
+// per-row and dispatch costs), single-threaded serial partition execution,
+// and the expressiveness restriction that partitioned tables may only be
+// joined on equality of their partitioning columns. Three TPC-W
+// partitioning schemes are provided (the paper needed three to cover the
+// maximum number of joins; under any single scheme fewer than 50% work).
+// Queries Q3/Q7/Q9/Q10 are unsupported under every scheme, as in Fig. 12.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "sql/workload.h"
+
+namespace synergy::newsql {
+
+/// Cost model tuned for an in-memory, stored-procedure engine.
+sim::CostModel VoltCostModel();
+
+struct PartitionScheme {
+  std::string name;
+  /// table -> partitioning column; tables absent from the map are
+  /// replicated to every site.
+  std::map<std::string, std::string> partition_column;
+
+  bool IsReplicated(const std::string& table) const {
+    return !partition_column.contains(table);
+  }
+};
+
+/// The three schemes used for TPC-W.
+std::vector<PartitionScheme> TpcwSchemes();
+
+/// Whether a SELECT is expressible under `scheme`: every pair of
+/// partitioned FROM tables must be connected through join equalities on
+/// their partitioning columns (or each pinned to a constant).
+bool IsSupported(const sql::SelectStatement& stmt, const sql::Catalog& catalog,
+                 const PartitionScheme& scheme);
+
+class VoltDb {
+ public:
+  explicit VoltDb(std::vector<PartitionScheme> schemes = TpcwSchemes());
+
+  /// Copies base relations + indexes (no views: VoltDB uses none, Fig. 13).
+  Status Init(const sql::Catalog& base_catalog);
+
+  Status Load(const std::string& relation, const exec::Tuple& tuple);
+
+  struct ExecResult {
+    double virtual_ms = 0;
+    size_t rows = 0;
+    std::string scheme;  // scheme that supported the query
+  };
+
+  /// Executes a statement; SELECTs fail with kUnimplemented when no scheme
+  /// supports them.
+  StatusOr<ExecResult> Execute(const sql::Statement& stmt,
+                               const std::vector<Value>& params);
+
+  double DbSizeBytes() const;
+  hbase::Cluster* storage() { return cluster_.get(); }
+
+ private:
+  StatusOr<ExecResult> ExecuteSelect(const sql::SelectStatement& stmt,
+                                     const std::vector<Value>& params);
+  StatusOr<ExecResult> ExecuteWrite(const sql::Statement& stmt,
+                                    const std::vector<Value>& params);
+
+  std::vector<PartitionScheme> schemes_;
+  sql::Catalog catalog_;
+  std::unique_ptr<hbase::Cluster> cluster_;  // reused as in-memory storage
+  std::unique_ptr<exec::TableAdapter> adapter_;
+  std::unique_ptr<exec::Executor> executor_;
+};
+
+}  // namespace synergy::newsql

@@ -1,0 +1,225 @@
+#include "sql/ast.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace synergy::sql {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone: return "";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+std::string Operand::ToString() const {
+  switch (kind) {
+    case Kind::kColumn: return column.ToString();
+    case Kind::kLiteral:
+      return literal.type() == DataType::kString
+                 ? "'" + literal.ToString() + "'"
+                 : literal.ToString();
+    case Kind::kParam: return "?";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString() const {
+  return lhs.ToString() + " " + CompareOpName(op) + " " + rhs.ToString();
+}
+
+std::string SelectItem::ToString() const {
+  std::string body = count_star ? "*" : column.ToString();
+  std::string s =
+      agg == AggFunc::kNone ? body : std::string(AggFuncName(agg)) + "(" + body + ")";
+  if (star) s = "*";
+  if (!output_name.empty() && !star) s += " AS " + output_name;
+  return s;
+}
+
+bool SelectStatement::HasAggregates() const {
+  return std::any_of(items.begin(), items.end(), [](const SelectItem& i) {
+    return i.agg != AggFunc::kNone;
+  });
+}
+
+std::string SelectStatement::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << items[i].ToString();
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << from[i].table;
+    if (from[i].alias != from[i].table) os << " AS " << from[i].alias;
+  }
+  if (!where.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << where[i].ToString();
+    }
+  }
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << group_by[i].ToString();
+    }
+  }
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << order_by[i].column.ToString();
+      if (order_by[i].descending) os << " DESC";
+    }
+  }
+  if (limit >= 0) os << " LIMIT " << limit;
+  return os.str();
+}
+
+std::string InsertStatement::ToString() const {
+  std::ostringstream os;
+  os << "INSERT INTO " << table << " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns[i];
+  }
+  os << ") VALUES (";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string UpdateStatement::ToString() const {
+  std::ostringstream os;
+  os << "UPDATE " << table << " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << assignments[i].first << " = " << assignments[i].second.ToString();
+  }
+  if (!where.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << where[i].ToString();
+    }
+  }
+  return os.str();
+}
+
+std::string DeleteStatement::ToString() const {
+  std::ostringstream os;
+  os << "DELETE FROM " << table;
+  if (!where.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << where[i].ToString();
+    }
+  }
+  return os.str();
+}
+
+std::string StatementToString(const Statement& stmt) {
+  return std::visit([](const auto& s) { return s.ToString(); }, stmt);
+}
+
+bool IsReadStatement(const Statement& stmt) {
+  return std::holds_alternative<SelectStatement>(stmt);
+}
+
+namespace {
+
+int CountOperandParams(const Operand& op) {
+  return op.kind == Operand::Kind::kParam ? 1 : 0;
+}
+
+int CountPredicateParams(const std::vector<Predicate>& preds) {
+  int n = 0;
+  for (const Predicate& p : preds) {
+    n += CountOperandParams(p.lhs) + CountOperandParams(p.rhs);
+  }
+  return n;
+}
+
+}  // namespace
+
+namespace {
+
+void BindOperand(Operand* op, const std::vector<Value>& params) {
+  if (op->kind != Operand::Kind::kParam) return;
+  if (op->param_index >= 0 &&
+      static_cast<size_t>(op->param_index) < params.size()) {
+    *op = Operand::Lit(params[static_cast<size_t>(op->param_index)]);
+  }
+}
+
+void BindPredicates(std::vector<Predicate>* preds,
+                    const std::vector<Value>& params) {
+  for (Predicate& p : *preds) {
+    BindOperand(&p.lhs, params);
+    BindOperand(&p.rhs, params);
+  }
+}
+
+}  // namespace
+
+Statement BindParams(const Statement& stmt, const std::vector<Value>& params) {
+  Statement out = stmt;
+  if (auto* sel = std::get_if<SelectStatement>(&out)) {
+    BindPredicates(&sel->where, params);
+  } else if (auto* ins = std::get_if<InsertStatement>(&out)) {
+    for (Operand& v : ins->values) BindOperand(&v, params);
+  } else if (auto* upd = std::get_if<UpdateStatement>(&out)) {
+    for (auto& [col, v] : upd->assignments) BindOperand(&v, params);
+    BindPredicates(&upd->where, params);
+  } else if (auto* del = std::get_if<DeleteStatement>(&out)) {
+    BindPredicates(&del->where, params);
+  }
+  return out;
+}
+
+int CountParams(const Statement& stmt) {
+  if (const auto* sel = std::get_if<SelectStatement>(&stmt)) {
+    return CountPredicateParams(sel->where);
+  }
+  if (const auto* ins = std::get_if<InsertStatement>(&stmt)) {
+    int n = 0;
+    for (const Operand& v : ins->values) n += CountOperandParams(v);
+    return n;
+  }
+  if (const auto* upd = std::get_if<UpdateStatement>(&stmt)) {
+    int n = CountPredicateParams(upd->where);
+    for (const auto& [col, v] : upd->assignments) n += CountOperandParams(v);
+    return n;
+  }
+  const auto& del = std::get<DeleteStatement>(stmt);
+  return CountPredicateParams(del.where);
+}
+
+}  // namespace synergy::sql

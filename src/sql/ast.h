@@ -1,0 +1,131 @@
+// Abstract syntax for the SQL subset the paper's workloads use:
+// single-statement SELECT (equi joins, conjunctive filters, GROUP BY,
+// ORDER BY, LIMIT, aggregates), INSERT, UPDATE, DELETE, with `?` parameters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/value.h"
+
+namespace synergy::sql {
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // equals `table` when no alias was written
+};
+
+struct ColumnRef {
+  std::string qualifier;  // table alias; empty if unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+  bool operator==(const ColumnRef&) const = default;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CompareOpName(CompareOp op);
+
+/// A predicate operand: column reference, literal, or `?` parameter.
+struct Operand {
+  enum class Kind { kColumn, kLiteral, kParam };
+  Kind kind = Kind::kLiteral;
+  ColumnRef column;   // kColumn
+  Value literal;      // kLiteral
+  int param_index = -1;  // kParam
+
+  static Operand Col(ColumnRef c) {
+    return Operand{Kind::kColumn, std::move(c), Value(), -1};
+  }
+  static Operand Lit(Value v) {
+    return Operand{Kind::kLiteral, ColumnRef{}, std::move(v), -1};
+  }
+  static Operand Param(int index) {
+    return Operand{Kind::kParam, ColumnRef{}, Value(), index};
+  }
+  std::string ToString() const;
+};
+
+/// One conjunct of the WHERE clause.
+struct Predicate {
+  Operand lhs;
+  CompareOp op = CompareOp::kEq;
+  Operand rhs;
+
+  bool IsColumnColumn() const {
+    return lhs.kind == Operand::Kind::kColumn &&
+           rhs.kind == Operand::Kind::kColumn;
+  }
+  /// True for col = col predicates (join candidates).
+  bool IsEquiJoin() const { return op == CompareOp::kEq && IsColumnColumn(); }
+  std::string ToString() const;
+};
+
+enum class AggFunc { kNone, kCount, kSum, kMin, kMax, kAvg };
+const char* AggFuncName(AggFunc f);
+
+struct SelectItem {
+  bool star = false;      // SELECT *
+  AggFunc agg = AggFunc::kNone;
+  ColumnRef column;       // unused when star (and for COUNT(*))
+  bool count_star = false;
+  std::string output_name;  // AS alias, or derived
+  std::string ToString() const;
+};
+
+struct OrderItem {
+  ColumnRef column;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;  // conjunctive
+  std::vector<ColumnRef> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+
+  bool HasAggregates() const;
+  std::string ToString() const;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;
+  std::vector<Operand> values;  // literals or params
+  std::string ToString() const;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, Operand>> assignments;
+  std::vector<Predicate> where;
+  std::string ToString() const;
+};
+
+struct DeleteStatement {
+  std::string table;
+  std::vector<Predicate> where;
+  std::string ToString() const;
+};
+
+using Statement = std::variant<SelectStatement, InsertStatement,
+                               UpdateStatement, DeleteStatement>;
+
+std::string StatementToString(const Statement& stmt);
+bool IsReadStatement(const Statement& stmt);
+
+/// Number of `?` parameters the statement expects.
+int CountParams(const Statement& stmt);
+
+/// Returns a copy of the statement with every `?` replaced by the matching
+/// literal from `params` (used for WAL payloads and replay).
+Statement BindParams(const Statement& stmt, const std::vector<Value>& params);
+
+}  // namespace synergy::sql

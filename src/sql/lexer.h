@@ -1,0 +1,30 @@
+// SQL tokenizer for the supported subset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace synergy::sql {
+
+enum class TokenType {
+  kIdent,    // keyword or identifier (case preserved; compared case-insensitively)
+  kInt,
+  kDouble,
+  kString,   // 'quoted'
+  kSymbol,   // one of: , ( ) . * ? = <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier text or symbol spelling
+  Value value;        // literal value for kInt/kDouble/kString
+  size_t offset = 0;  // position in the input, for error messages
+};
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace synergy::sql

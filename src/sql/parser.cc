@@ -1,0 +1,347 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace synergy::sql {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> ParseStatement() {
+    if (IsKeyword("SELECT")) return ParseSelect();
+    if (IsKeyword("INSERT")) return ParseInsert();
+    if (IsKeyword("UPDATE")) return ParseUpdate();
+    if (IsKeyword("DELETE")) return ParseDelete();
+    return Err("expected SELECT/INSERT/UPDATE/DELETE");
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool IsKeyword(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdent && EqualsIgnoreCase(t.text, kw);
+  }
+  bool IsSymbol(const char* sym, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kSymbol && t.text == sym;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (!IsKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (!IsSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (AcceptKeyword(kw)) return Status::Ok();
+    return Status::InvalidArgument(std::string("expected ") + kw + " near '" +
+                                   Peek().text + "' (offset " +
+                                   std::to_string(Peek().offset) + ")");
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (AcceptSymbol(sym)) return Status::Ok();
+    return Status::InvalidArgument(std::string("expected '") + sym +
+                                   "' near '" + Peek().text + "' (offset " +
+                                   std::to_string(Peek().offset) + ")");
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " near '" + Peek().text +
+                                   "' (offset " +
+                                   std::to_string(Peek().offset) + ")");
+  }
+
+  StatusOr<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) return Err("expected identifier");
+    return Advance().text;
+  }
+
+  /// colref := ident ['.' ident]
+  StatusOr<ColumnRef> ParseColumnRef() {
+    SYNERGY_ASSIGN_OR_RETURN(first, ExpectIdent());
+    ColumnRef ref;
+    if (AcceptSymbol(".")) {
+      SYNERGY_ASSIGN_OR_RETURN(col, ExpectIdent());
+      ref.qualifier = first;
+      ref.column = col;
+    } else {
+      ref.column = first;
+    }
+    return ref;
+  }
+
+  StatusOr<Operand> ParseOperand() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt:
+      case TokenType::kDouble:
+      case TokenType::kString: {
+        Operand op = Operand::Lit(t.value);
+        Advance();
+        return op;
+      }
+      case TokenType::kSymbol:
+        if (t.text == "?") {
+          Advance();
+          return Operand::Param(next_param_++);
+        }
+        return Err("expected operand");
+      case TokenType::kIdent: {
+        if (EqualsIgnoreCase(t.text, "NULL")) {
+          Advance();
+          return Operand::Lit(Value());
+        }
+        SYNERGY_ASSIGN_OR_RETURN(col, ParseColumnRef());
+        return Operand::Col(col);
+      }
+      default:
+        return Err("expected operand");
+    }
+  }
+
+  StatusOr<CompareOp> ParseCompareOp() {
+    const Token& t = Peek();
+    if (t.type != TokenType::kSymbol) return Err("expected comparison");
+    CompareOp op;
+    if (t.text == "=") op = CompareOp::kEq;
+    else if (t.text == "<>") op = CompareOp::kNe;
+    else if (t.text == "<") op = CompareOp::kLt;
+    else if (t.text == "<=") op = CompareOp::kLe;
+    else if (t.text == ">") op = CompareOp::kGt;
+    else if (t.text == ">=") op = CompareOp::kGe;
+    else return Err("expected comparison operator");
+    Advance();
+    return op;
+  }
+
+  StatusOr<std::vector<Predicate>> ParseWhere() {
+    std::vector<Predicate> preds;
+    do {
+      Predicate p;
+      SYNERGY_ASSIGN_OR_RETURN(lhs, ParseOperand());
+      p.lhs = lhs;
+      SYNERGY_ASSIGN_OR_RETURN(op, ParseCompareOp());
+      p.op = op;
+      SYNERGY_ASSIGN_OR_RETURN(rhs, ParseOperand());
+      p.rhs = rhs;
+      preds.push_back(std::move(p));
+    } while (AcceptKeyword("AND"));
+    return preds;
+  }
+
+  StatusOr<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    static const std::pair<const char*, AggFunc> kAggs[] = {
+        {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum},
+        {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax},
+        {"AVG", AggFunc::kAvg}};
+    for (const auto& [name, fn] : kAggs) {
+      if (IsKeyword(name) && IsSymbol("(", 1)) {
+        Advance();  // agg name
+        Advance();  // (
+        item.agg = fn;
+        if (AcceptSymbol("*")) {
+          if (fn != AggFunc::kCount) return Err("only COUNT(*) allows *");
+          item.count_star = true;
+        } else {
+          SYNERGY_ASSIGN_OR_RETURN(col, ParseColumnRef());
+          item.column = col;
+        }
+        SYNERGY_RETURN_IF_ERROR(ExpectSymbol(")"));
+        if (AcceptKeyword("AS")) {
+          SYNERGY_ASSIGN_OR_RETURN(alias, ExpectIdent());
+          item.output_name = alias;
+        } else {
+          item.output_name = std::string(AggFuncName(fn)) + "(" +
+                             (item.count_star ? "*" : item.column.ToString()) +
+                             ")";
+        }
+        return item;
+      }
+    }
+    SYNERGY_ASSIGN_OR_RETURN(col, ParseColumnRef());
+    item.column = col;
+    item.output_name = col.column;
+    if (AcceptKeyword("AS")) {
+      SYNERGY_ASSIGN_OR_RETURN(alias, ExpectIdent());
+      item.output_name = alias;
+    }
+    return item;
+  }
+
+  StatusOr<Statement> ParseSelect() {
+    SYNERGY_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStatement sel;
+    if (AcceptSymbol("*")) {
+      SelectItem star;
+      star.star = true;
+      sel.items.push_back(star);
+    } else {
+      do {
+        SYNERGY_ASSIGN_OR_RETURN(item, ParseSelectItem());
+        sel.items.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    SYNERGY_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    do {
+      SYNERGY_ASSIGN_OR_RETURN(table, ExpectIdent());
+      TableRef ref;
+      ref.table = table;
+      ref.alias = table;
+      if (AcceptKeyword("AS")) {
+        SYNERGY_ASSIGN_OR_RETURN(alias, ExpectIdent());
+        ref.alias = alias;
+      } else if (Peek().type == TokenType::kIdent && !IsReservedHere()) {
+        ref.alias = Advance().text;  // bare alias: FROM Customer c
+      }
+      sel.from.push_back(std::move(ref));
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("WHERE")) {
+      SYNERGY_ASSIGN_OR_RETURN(preds, ParseWhere());
+      sel.where = std::move(preds);
+    }
+    if (AcceptKeyword("GROUP")) {
+      SYNERGY_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        SYNERGY_ASSIGN_OR_RETURN(col, ParseColumnRef());
+        sel.group_by.push_back(col);
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("ORDER")) {
+      SYNERGY_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        SYNERGY_ASSIGN_OR_RETURN(col, ParseColumnRef());
+        item.column = col;
+        if (AcceptKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        sel.order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInt) return Err("expected LIMIT count");
+      sel.limit = Advance().value.as_int();
+    }
+    SYNERGY_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(sel));
+  }
+
+  /// Whether the next identifier is a clause keyword (so not a bare alias).
+  bool IsReservedHere() const {
+    for (const char* kw :
+         {"WHERE", "GROUP", "ORDER", "LIMIT", "AND", "AS", "FROM"}) {
+      if (IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  StatusOr<Statement> ParseInsert() {
+    SYNERGY_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    SYNERGY_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStatement ins;
+    SYNERGY_ASSIGN_OR_RETURN(table, ExpectIdent());
+    ins.table = table;
+    SYNERGY_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      SYNERGY_ASSIGN_OR_RETURN(col, ExpectIdent());
+      ins.columns.push_back(col);
+    } while (AcceptSymbol(","));
+    SYNERGY_RETURN_IF_ERROR(ExpectSymbol(")"));
+    SYNERGY_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    SYNERGY_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      SYNERGY_ASSIGN_OR_RETURN(op, ParseOperand());
+      if (op.kind == Operand::Kind::kColumn) {
+        return Err("column reference not allowed in VALUES");
+      }
+      ins.values.push_back(std::move(op));
+    } while (AcceptSymbol(","));
+    SYNERGY_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (ins.columns.size() != ins.values.size()) {
+      return Status::InvalidArgument("INSERT column/value count mismatch");
+    }
+    SYNERGY_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(ins));
+  }
+
+  StatusOr<Statement> ParseUpdate() {
+    SYNERGY_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    UpdateStatement upd;
+    SYNERGY_ASSIGN_OR_RETURN(table, ExpectIdent());
+    upd.table = table;
+    SYNERGY_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      SYNERGY_ASSIGN_OR_RETURN(col, ExpectIdent());
+      SYNERGY_RETURN_IF_ERROR(ExpectSymbol("="));
+      SYNERGY_ASSIGN_OR_RETURN(val, ParseOperand());
+      if (val.kind == Operand::Kind::kColumn) {
+        return Err("column expressions not supported in SET");
+      }
+      upd.assignments.emplace_back(col, std::move(val));
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("WHERE")) {
+      SYNERGY_ASSIGN_OR_RETURN(preds, ParseWhere());
+      upd.where = std::move(preds);
+    }
+    SYNERGY_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(upd));
+  }
+
+  StatusOr<Statement> ParseDelete() {
+    SYNERGY_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    SYNERGY_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStatement del;
+    SYNERGY_ASSIGN_OR_RETURN(table, ExpectIdent());
+    del.table = table;
+    if (AcceptKeyword("WHERE")) {
+      SYNERGY_ASSIGN_OR_RETURN(preds, ParseWhere());
+      del.where = std::move(preds);
+    }
+    SYNERGY_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(del));
+  }
+
+  Status ExpectEnd() {
+    if (Peek().type == TokenType::kEnd) return Status::Ok();
+    return Err("unexpected trailing input");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int next_param_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Statement> Parse(const std::string& sql) {
+  SYNERGY_ASSIGN_OR_RETURN(tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Statement MustParse(const std::string& sql) {
+  StatusOr<Statement> stmt = Parse(sql);
+  if (!stmt.ok()) {
+    std::fprintf(stderr, "MustParse(%s): %s\n", sql.c_str(),
+                 stmt.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*stmt);
+}
+
+}  // namespace synergy::sql

@@ -1,0 +1,28 @@
+// Recursive-descent parser for the supported SQL subset.
+//
+// Grammar (case-insensitive keywords):
+//   select  := SELECT items FROM table_refs [WHERE conj] [GROUP BY cols]
+//              [ORDER BY col [DESC|ASC] (, ...)] [LIMIT n]
+//   items   := '*' | item (',' item)*
+//   item    := [agg '('] colref | '*' [')'] [AS ident]
+//   insert  := INSERT INTO ident '(' cols ')' VALUES '(' operands ')'
+//   update  := UPDATE ident SET ident '=' operand (',' ...)* [WHERE conj]
+//   delete  := DELETE FROM ident [WHERE conj]
+//   conj    := pred (AND pred)*
+//   pred    := operand cmp operand
+//   operand := colref | literal | '?'
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace synergy::sql {
+
+StatusOr<Statement> Parse(const std::string& sql);
+
+/// Convenience: parse, asserting success (tests/examples with known-good SQL).
+Statement MustParse(const std::string& sql);
+
+}  // namespace synergy::sql

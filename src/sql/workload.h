@@ -1,0 +1,39 @@
+// Workload model (§II-B): a set of SQL statements, each with an identifier
+// and an optional relative frequency used by selection heuristics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace synergy::sql {
+
+struct WorkloadStatement {
+  std::string id;      // e.g. "Q1", "W13"
+  std::string sql;
+  Statement ast;
+  double frequency = 1.0;
+};
+
+struct Workload {
+  std::vector<WorkloadStatement> statements;
+
+  Status Add(std::string id, const std::string& sql, double frequency = 1.0) {
+    SYNERGY_ASSIGN_OR_RETURN(ast, Parse(sql));
+    statements.push_back(
+        WorkloadStatement{std::move(id), sql, std::move(ast), frequency});
+    return Status::Ok();
+  }
+
+  const WorkloadStatement* Find(const std::string& id) const {
+    for (const WorkloadStatement& s : statements) {
+      if (s.id == id) return &s;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace synergy::sql

@@ -1,0 +1,343 @@
+#include "synergy/candidate_views.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace synergy::core {
+
+void RootedTree::AddEdge(TreeEdge edge) {
+  if (EdgeTo(edge.child) != nullptr) return;  // unique path invariant
+  edges_.push_back(std::move(edge));
+}
+
+bool RootedTree::Contains(const std::string& relation) const {
+  if (relation == root_) return true;
+  return EdgeTo(relation) != nullptr;
+}
+
+std::optional<std::string> RootedTree::ParentOf(
+    const std::string& relation) const {
+  const TreeEdge* e = EdgeTo(relation);
+  if (e == nullptr) return std::nullopt;
+  return e->parent;
+}
+
+std::vector<std::string> RootedTree::ChildrenOf(
+    const std::string& relation) const {
+  std::vector<std::string> out;
+  for (const TreeEdge& e : edges_) {
+    if (e.parent == relation) out.push_back(e.child);
+  }
+  return out;
+}
+
+const TreeEdge* RootedTree::EdgeTo(const std::string& child) const {
+  for (const TreeEdge& e : edges_) {
+    if (e.child == child) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> RootedTree::PathFromRoot(
+    const std::string& relation) const {
+  std::vector<std::string> path;
+  std::string cur = relation;
+  while (cur != root_) {
+    const TreeEdge* e = EdgeTo(cur);
+    if (e == nullptr) return {};  // not a member
+    path.push_back(cur);
+    cur = e->parent;
+  }
+  path.push_back(root_);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::string> RootedTree::Members() const {
+  std::vector<std::string> out = {root_};
+  std::deque<std::string> queue = {root_};
+  while (!queue.empty()) {
+    const std::string cur = queue.front();
+    queue.pop_front();
+    for (const std::string& child : ChildrenOf(cur)) {
+      out.push_back(child);
+      queue.push_back(child);
+    }
+  }
+  return out;
+}
+
+std::string RootedTree::ToString() const {
+  std::ostringstream os;
+  os << root_ << " {";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << edges_[i].parent << "->" << edges_[i].child;
+  }
+  os << "}";
+  return os.str();
+}
+
+namespace {
+
+struct WeightedEdge {
+  SchemaEdge edge;
+  double weight;
+};
+
+/// Step 1: keep at most one (max-weight) edge between any pair of nodes.
+std::vector<WeightedEdge> ToDag(const SchemaGraph& graph,
+                                const sql::Workload& workload,
+                                const sql::Catalog& catalog) {
+  std::vector<WeightedEdge> dag;
+  for (const SchemaEdge& e : graph.edges()) {
+    const double w = EdgeWeight(e, workload, catalog);
+    auto it = std::find_if(dag.begin(), dag.end(), [&](const WeightedEdge& we) {
+      return we.edge.SameEndpoints(e);
+    });
+    if (it == dag.end()) {
+      dag.push_back(WeightedEdge{e, w});
+    } else if (w > it->weight) {
+      *it = WeightedEdge{e, w};
+    }
+  }
+  return dag;
+}
+
+/// Step 2: deterministic topological order (Kahn; lexicographic ties).
+StatusOr<std::vector<std::string>> TopologicalOrder(
+    const std::vector<std::string>& nodes,
+    const std::vector<WeightedEdge>& edges) {
+  std::map<std::string, int> indegree;
+  for (const std::string& n : nodes) indegree[n] = 0;
+  for (const WeightedEdge& we : edges) indegree[we.edge.child] += 1;
+  std::set<std::string> ready;
+  for (const auto& [n, d] : indegree) {
+    if (d == 0) ready.insert(n);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    const std::string n = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(n);
+    for (const WeightedEdge& we : edges) {
+      if (we.edge.parent != n) continue;
+      if (--indegree[we.edge.child] == 0) ready.insert(we.edge.child);
+    }
+  }
+  if (order.size() != nodes.size()) {
+    return Status::InvalidArgument(
+        "schema graph has a cycle; circular references are out of scope");
+  }
+  return order;
+}
+
+struct Path {
+  std::vector<const WeightedEdge*> edges;  // root-to-target order
+  double weight = 0;  // sum of per-edge overlap weights (secondary score)
+  std::vector<std::string> Relations() const {
+    std::vector<std::string> rels;
+    if (edges.empty()) return rels;
+    rels.push_back(edges.front()->edge.parent);
+    for (const WeightedEdge* e : edges) rels.push_back(e->edge.child);
+    return rels;
+  }
+};
+
+/// Per-query join-edge sets, for the primary path score: the number of
+/// workload queries whose join set contains EVERY edge of the path (such a
+/// path materializes whole joins of those queries). The per-edge overlap
+/// sum breaks ties — it still rewards paths that partially overlap many
+/// queries, matching the paper's "number of overlapping joins" heuristic.
+struct QueryJoinSets {
+  std::vector<std::pair<double, std::vector<SchemaEdge>>> per_query;
+
+  static QueryJoinSets FromWorkload(const sql::Workload& workload,
+                                    const sql::Catalog& catalog) {
+    QueryJoinSets out;
+    for (const sql::WorkloadStatement& stmt : workload.statements) {
+      const auto* sel = std::get_if<sql::SelectStatement>(&stmt.ast);
+      if (sel == nullptr) continue;
+      std::vector<SchemaEdge> edges;
+      for (const QueryJoinEdge& qe : ExtractJoinEdges(*sel, catalog)) {
+        edges.push_back(qe.edge);
+      }
+      if (!edges.empty()) out.per_query.emplace_back(stmt.frequency, edges);
+    }
+    return out;
+  }
+
+  double FullContainmentScore(const Path& path) const {
+    double score = 0;
+    for (const auto& [freq, joins] : per_query) {
+      bool all = true;
+      for (const WeightedEdge* we : path.edges) {
+        if (std::find(joins.begin(), joins.end(), we->edge) == joins.end()) {
+          all = false;
+          break;
+        }
+      }
+      if (all) score += freq;
+    }
+    return score;
+  }
+};
+
+/// All simple paths `from` -> `to` over `edges` (schemas are small).
+void EnumeratePaths(const std::vector<WeightedEdge>& edges,
+                    const std::string& from, const std::string& to,
+                    Path* current, std::vector<Path>* out) {
+  if (from == to) {
+    out->push_back(*current);
+    return;
+  }
+  for (const WeightedEdge& we : edges) {
+    if (we.edge.parent != from) continue;
+    current->edges.push_back(&we);
+    current->weight += we.weight;
+    EnumeratePaths(edges, we.edge.child, to, current, out);
+    current->weight -= we.weight;
+    current->edges.pop_back();
+  }
+}
+
+std::string PathLabel(const Path& p) {
+  std::string label;
+  for (const std::string& r : p.Relations()) label += r + "/";
+  return label;
+}
+
+}  // namespace
+
+StatusOr<CandidateViewsResult> GenerateCandidateViews(
+    const SchemaGraph& graph, const sql::Workload& workload,
+    const sql::Catalog& catalog, const std::vector<std::string>& roots) {
+  for (const std::string& root : roots) {
+    if (!graph.HasRelation(root)) {
+      return Status::InvalidArgument("root " + root + " is not a relation");
+    }
+  }
+  const std::set<std::string> root_set(roots.begin(), roots.end());
+  const QueryJoinSets join_sets = QueryJoinSets::FromWorkload(workload, catalog);
+  auto path_less = [&join_sets](const Path& a, const Path& b) {
+    const double fa = join_sets.FullContainmentScore(a);
+    const double fb = join_sets.FullContainmentScore(b);
+    if (fa != fb) return fa > fb;
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return PathLabel(a) < PathLabel(b);
+  };
+
+  // Step 1: schema graph -> DAG.
+  const std::vector<WeightedEdge> dag = ToDag(graph, workload, catalog);
+  // Step 2: topological order.
+  SYNERGY_ASSIGN_OR_RETURN(topo, TopologicalOrder(graph.relations(), dag));
+
+  // Step 3: assign non-root relations to roots.
+  std::map<std::string, std::string> assignment;  // relation -> root
+  for (const std::string& root : roots) assignment[root] = root;
+  // Rooted graphs: per root, the set of DAG edges added via selected paths.
+  std::map<std::string, std::vector<const WeightedEdge*>> rooted_graphs;
+
+  for (const std::string& relation : topo) {
+    if (root_set.contains(relation)) continue;
+    // 3a: paths from every root to this relation.
+    std::vector<Path> paths;
+    for (const std::string& root : roots) {
+      Path current;
+      EnumeratePaths(dag, root, relation, &current, &paths);
+    }
+    // 3b: highest weight first (label as deterministic tie-break).
+    std::stable_sort(paths.begin(), paths.end(), path_less);
+    for (const Path& path : paths) {
+      const std::vector<std::string> rels = path.Relations();
+      // The path must contain exactly one root...
+      int roots_on_path = 0;
+      for (const std::string& r : rels) {
+        if (root_set.contains(r)) ++roots_on_path;
+      }
+      if (roots_on_path != 1) continue;
+      // ...and no relation already assigned to a different root.
+      const std::string& root = rels.front();
+      bool ok = true;
+      for (const std::string& r : rels) {
+        auto it = assignment.find(r);
+        if (it != assignment.end() && it->second != root) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      // 3c: add the path to the root's rooted graph.
+      for (const std::string& r : rels) assignment[r] = root;
+      for (const WeightedEdge* e : path.edges) {
+        auto& edges = rooted_graphs[root];
+        if (std::find(edges.begin(), edges.end(), e) == edges.end()) {
+          edges.push_back(e);
+        }
+      }
+      break;
+    }
+  }
+
+  // Step 4: rooted graphs -> rooted trees (reverse topological order).
+  CandidateViewsResult result;
+  for (const std::string& root : roots) {
+    RootedTree tree(root);
+    std::vector<WeightedEdge> edges;
+    for (const WeightedEdge* e : rooted_graphs[root]) edges.push_back(*e);
+    // Non-root members of this rooted graph in topological order.
+    std::vector<std::string> members;
+    for (const std::string& r : topo) {
+      if (r == root) continue;
+      if (assignment.contains(r) && assignment[r] == root) members.push_back(r);
+    }
+    std::vector<std::string> remaining(members.rbegin(), members.rend());
+    std::set<std::string> done;
+    for (const std::string& target : remaining) {
+      if (done.contains(target)) continue;
+      std::vector<Path> paths;
+      Path current;
+      EnumeratePaths(edges, root, target, &current, &paths);
+      if (paths.empty()) continue;
+      std::stable_sort(paths.begin(), paths.end(), path_less);
+      const Path& best = paths.front();
+      for (const WeightedEdge* e : best.edges) {
+        tree.AddEdge(TreeEdge{e->edge.parent, e->edge.child, e->edge.fk,
+                              e->weight});
+      }
+      for (const std::string& r : best.Relations()) {
+        if (r != root) done.insert(r);
+      }
+    }
+    result.trees.push_back(std::move(tree));
+  }
+  for (const std::string& r : graph.relations()) {
+    if (!assignment.contains(r)) result.unassigned.push_back(r);
+  }
+  return result;
+}
+
+std::vector<std::vector<std::string>> EnumerateCandidatePaths(
+    const RootedTree& tree) {
+  std::vector<std::vector<std::string>> out;
+  for (const std::string& start : tree.Members()) {
+    // Walk every downward chain starting at `start`.
+    std::function<void(const std::string&, std::vector<std::string>&)> dfs =
+        [&](const std::string& node, std::vector<std::string>& path) {
+          path.push_back(node);
+          if (path.size() >= 2) out.push_back(path);
+          for (const std::string& child : tree.ChildrenOf(node)) {
+            dfs(child, path);
+          }
+          path.pop_back();
+        };
+    std::vector<std::string> path;
+    dfs(start, path);
+  }
+  return out;
+}
+
+}  // namespace synergy::core

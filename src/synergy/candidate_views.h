@@ -1,0 +1,74 @@
+// Candidate views generation mechanism (§V-B).
+//
+// Pipeline: schema graph -> DAG (keep the max-weight edge per node pair)
+// -> topological order -> assign each non-root relation to at most one root
+// (forward topological order, max-weight valid path) -> rooted graphs ->
+// rooted trees (reverse topological order, max-weight path retained).
+//
+// The output is one rooted tree per root; every path in a rooted tree is a
+// candidate view. Because each relation lands in at most one tree, a write
+// transaction needs exactly one lock (on the tree's root key).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "synergy/schema_graph.h"
+
+namespace synergy::core {
+
+struct TreeEdge {
+  std::string parent;
+  std::string child;
+  sql::ForeignKey fk;
+  double weight = 0;
+};
+
+class RootedTree {
+ public:
+  RootedTree() = default;
+  explicit RootedTree(std::string root) : root_(std::move(root)) {}
+
+  const std::string& root() const { return root_; }
+  const std::vector<TreeEdge>& edges() const { return edges_; }
+
+  void AddEdge(TreeEdge edge);
+  bool Contains(const std::string& relation) const;
+  /// Parent of a non-root member; nullopt for the root or non-members.
+  std::optional<std::string> ParentOf(const std::string& relation) const;
+  std::vector<std::string> ChildrenOf(const std::string& relation) const;
+  const TreeEdge* EdgeTo(const std::string& child) const;
+
+  /// Relations on the unique root->relation path, root first.
+  std::vector<std::string> PathFromRoot(const std::string& relation) const;
+
+  /// All member relations (root first, then BFS order).
+  std::vector<std::string> Members() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string root_;
+  std::vector<TreeEdge> edges_;
+};
+
+struct CandidateViewsResult {
+  std::vector<RootedTree> trees;
+  /// Relations that could not be assigned to any root.
+  std::vector<std::string> unassigned;
+};
+
+/// Runs the full §V-B mechanism. `roots` is the designer-provided set Q.
+StatusOr<CandidateViewsResult> GenerateCandidateViews(
+    const SchemaGraph& graph, const sql::Workload& workload,
+    const sql::Catalog& catalog, const std::vector<std::string>& roots);
+
+/// Enumerates every path with >= 2 relations in a rooted tree — the
+/// candidate views of Definition 5 (used by tests and the Company example).
+std::vector<std::vector<std::string>> EnumerateCandidatePaths(
+    const RootedTree& tree);
+
+}  // namespace synergy::core

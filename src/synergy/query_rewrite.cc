@@ -1,0 +1,174 @@
+#include "synergy/query_rewrite.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace synergy::core {
+namespace {
+
+/// FROM alias -> relation name for a statement.
+std::map<std::string, std::string> AliasMap(const sql::SelectStatement& stmt) {
+  std::map<std::string, std::string> out;
+  for (const sql::TableRef& ref : stmt.from) out[ref.alias] = ref.table;
+  return out;
+}
+
+/// Relation a (possibly unqualified) column belongs to, or "".
+std::string ColumnRelation(const sql::SelectStatement& stmt,
+                           const sql::Catalog& catalog,
+                           const sql::ColumnRef& ref) {
+  if (!ref.qualifier.empty()) {
+    for (const sql::TableRef& t : stmt.from) {
+      if (t.alias == ref.qualifier) return t.table;
+    }
+    return "";
+  }
+  std::string found;
+  for (const sql::TableRef& t : stmt.from) {
+    const sql::RelationDef* rel = catalog.FindRelation(t.table);
+    if (rel != nullptr && rel->HasColumn(ref.column)) {
+      if (!found.empty() && found != t.table) return "";
+      found = t.table;
+    }
+  }
+  return found;
+}
+
+/// True if `pred` is the FK join condition between two consecutive members
+/// of `view`.
+bool IsInternalJoin(const sql::Predicate& pred,
+                    const sql::SelectStatement& stmt,
+                    const sql::Catalog& catalog, const SelectedView& view) {
+  if (!pred.IsEquiJoin()) return false;
+  const std::string lhs = ColumnRelation(stmt, catalog, pred.lhs.column);
+  const std::string rhs = ColumnRelation(stmt, catalog, pred.rhs.column);
+  if (lhs.empty() || rhs.empty()) return false;
+  for (size_t i = 1; i < view.relations.size(); ++i) {
+    const std::string& parent = view.relations[i - 1];
+    const std::string& child = view.relations[i];
+    if ((lhs == parent && rhs == child) || (lhs == child && rhs == parent)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<RewriteResult> RewriteQuery(const sql::SelectStatement& stmt,
+                                     const sql::Catalog& catalog,
+                                     const std::vector<SelectedView>& views) {
+  RewriteResult result;
+  result.stmt = stmt;
+  if (views.empty()) return result;
+
+  const std::map<std::string, std::string> aliases = AliasMap(stmt);
+  // relation -> view replacing it (only views whose members all appear in
+  // this statement's FROM are applicable).
+  std::map<std::string, const SelectedView*> replaced_by;
+  std::vector<const SelectedView*> applicable;
+  for (const SelectedView& view : views) {
+    bool all_present = true;
+    for (const std::string& rel : view.relations) {
+      const bool present = std::any_of(
+          stmt.from.begin(), stmt.from.end(),
+          [&](const sql::TableRef& t) { return t.table == rel; });
+      if (!present) {
+        all_present = false;
+        break;
+      }
+    }
+    if (!all_present) continue;
+    applicable.push_back(&view);
+    for (const std::string& rel : view.relations) {
+      replaced_by[rel] = &view;
+    }
+  }
+  if (applicable.empty()) return result;
+
+  // New FROM: one entry per applicable view (at its first member's
+  // position), plus untouched relations.
+  sql::SelectStatement out;
+  out.items = stmt.items;
+  out.group_by = stmt.group_by;
+  out.order_by = stmt.order_by;
+  out.limit = stmt.limit;
+  std::set<const SelectedView*> emitted;
+  for (const sql::TableRef& ref : stmt.from) {
+    auto it = replaced_by.find(ref.table);
+    if (it == replaced_by.end()) {
+      out.from.push_back(ref);
+      continue;
+    }
+    if (emitted.insert(it->second).second) {
+      const std::string name = it->second->Name();
+      out.from.push_back(sql::TableRef{name, name});
+    }
+  }
+
+  // Rewrite a column reference: anything belonging to a replaced relation
+  // re-qualifies to the view (attribute names are unique inside a view).
+  auto rewrite_col = [&](sql::ColumnRef* col) {
+    const std::string rel = ColumnRelation(stmt, catalog, *col);
+    auto it = replaced_by.find(rel);
+    if (it != replaced_by.end()) {
+      col->qualifier = it->second->Name();
+    }
+  };
+  auto rewrite_operand = [&](sql::Operand* op) {
+    if (op->kind == sql::Operand::Kind::kColumn) rewrite_col(&op->column);
+  };
+
+  // WHERE: drop internal join conditions, rewrite the rest. Parameter
+  // indices are preserved (no parameterized predicate is ever internal —
+  // internal joins are column=column).
+  for (const sql::Predicate& pred : stmt.where) {
+    bool internal = false;
+    for (const SelectedView* view : applicable) {
+      if (IsInternalJoin(pred, stmt, catalog, *view)) {
+        internal = true;
+        break;
+      }
+    }
+    if (internal) continue;
+    sql::Predicate p = pred;
+    rewrite_operand(&p.lhs);
+    rewrite_operand(&p.rhs);
+    out.where.push_back(std::move(p));
+  }
+  for (sql::SelectItem& item : out.items) {
+    if (!item.star && !item.count_star) rewrite_col(&item.column);
+  }
+  for (sql::ColumnRef& col : out.group_by) rewrite_col(&col);
+  for (sql::OrderItem& o : out.order_by) rewrite_col(&o.column);
+
+  result.stmt = std::move(out);
+  result.changed = true;
+  for (const SelectedView* view : applicable) {
+    result.views_used.push_back(view->Name());
+  }
+  return result;
+}
+
+StatusOr<std::vector<std::string>> RewriteWorkload(
+    sql::Workload* workload, const sql::Catalog& catalog,
+    const std::vector<RootedTree>& trees) {
+  std::vector<std::string> rewritten;
+  for (sql::WorkloadStatement& stmt : workload->statements) {
+    auto* sel = std::get_if<sql::SelectStatement>(&stmt.ast);
+    if (sel == nullptr) continue;
+    const std::vector<SelectedView> views =
+        SelectViewsForQuery(*sel, catalog, trees);
+    if (views.empty()) continue;
+    SYNERGY_ASSIGN_OR_RETURN(rw, RewriteQuery(*sel, catalog, views));
+    if (rw.changed) {
+      stmt.ast = sql::Statement(std::move(rw.stmt));
+      stmt.sql = sql::StatementToString(stmt.ast);
+      rewritten.push_back(stmt.id);
+    }
+  }
+  return rewritten;
+}
+
+}  // namespace synergy::core

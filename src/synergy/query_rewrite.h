@@ -1,0 +1,34 @@
+// Query re-writing using selected views (§VI-B): replace a view's
+// constituent relations with the view, and drop join conditions whose two
+// sides both live inside a single view.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "synergy/view_selection.h"
+
+namespace synergy::core {
+
+struct RewriteResult {
+  sql::SelectStatement stmt;
+  /// Names of views the rewritten statement reads.
+  std::vector<std::string> views_used;
+  bool changed = false;
+};
+
+/// Rewrites one query with the views selected for it. `views` must be the
+/// output of SelectViewsForQuery on this statement (or a superset covering
+/// the same paths).
+StatusOr<RewriteResult> RewriteQuery(const sql::SelectStatement& stmt,
+                                     const sql::Catalog& catalog,
+                                     const std::vector<SelectedView>& views);
+
+/// Rewrites every SELECT in the workload (W is replaced in place; write
+/// statements pass through untouched). Returns ids of rewritten statements.
+StatusOr<std::vector<std::string>> RewriteWorkload(
+    sql::Workload* workload, const sql::Catalog& catalog,
+    const std::vector<RootedTree>& trees);
+
+}  // namespace synergy::core

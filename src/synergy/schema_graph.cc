@@ -1,0 +1,132 @@
+#include "synergy/schema_graph.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace synergy::core {
+
+std::string SchemaEdge::Label() const {
+  return "(" + parent + "->" + child + " via " + JoinStrings(fk.columns, ",") +
+         ")";
+}
+
+SchemaGraph SchemaGraph::FromCatalog(const sql::Catalog& catalog) {
+  SchemaGraph g;
+  for (const sql::RelationDef* rel : catalog.Relations()) {
+    if (catalog.IsView(rel->name)) continue;
+    g.relations_.push_back(rel->name);
+  }
+  std::sort(g.relations_.begin(), g.relations_.end());
+  for (const std::string& child : g.relations_) {
+    const sql::RelationDef* rel = catalog.FindRelation(child);
+    for (const sql::ForeignKey& fk : rel->foreign_keys) {
+      if (!catalog.FindRelation(fk.ref_relation) ||
+          catalog.IsView(fk.ref_relation)) {
+        continue;
+      }
+      g.edges_.push_back(SchemaEdge{fk.ref_relation, child, fk});
+    }
+  }
+  return g;
+}
+
+std::vector<const SchemaEdge*> SchemaGraph::OutEdges(
+    const std::string& relation) const {
+  std::vector<const SchemaEdge*> out;
+  for (const SchemaEdge& e : edges_) {
+    if (e.parent == relation) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const SchemaEdge*> SchemaGraph::InEdges(
+    const std::string& relation) const {
+  std::vector<const SchemaEdge*> out;
+  for (const SchemaEdge& e : edges_) {
+    if (e.child == relation) out.push_back(&e);
+  }
+  return out;
+}
+
+bool SchemaGraph::HasRelation(const std::string& relation) const {
+  return std::find(relations_.begin(), relations_.end(), relation) !=
+         relations_.end();
+}
+
+namespace {
+
+/// Relation name a query operand belongs to, resolved through FROM aliases.
+std::string OperandRelation(const sql::SelectStatement& stmt,
+                            const sql::Catalog& catalog,
+                            const sql::Operand& op) {
+  if (op.kind != sql::Operand::Kind::kColumn) return "";
+  if (!op.column.qualifier.empty()) {
+    for (const sql::TableRef& ref : stmt.from) {
+      if (ref.alias == op.column.qualifier) return ref.table;
+    }
+    return "";
+  }
+  std::string found;
+  for (const sql::TableRef& ref : stmt.from) {
+    const sql::RelationDef* rel = catalog.FindRelation(ref.table);
+    if (rel != nullptr && rel->HasColumn(op.column.column)) {
+      if (!found.empty() && found != ref.table) return "";  // ambiguous
+      found = ref.table;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+std::vector<QueryJoinEdge> ExtractJoinEdges(const sql::SelectStatement& stmt,
+                                            const sql::Catalog& catalog) {
+  std::vector<QueryJoinEdge> out;
+  for (const sql::Predicate& p : stmt.where) {
+    if (!p.IsEquiJoin()) continue;
+    const std::string lhs_rel = OperandRelation(stmt, catalog, p.lhs);
+    const std::string rhs_rel = OperandRelation(stmt, catalog, p.rhs);
+    if (lhs_rel.empty() || rhs_rel.empty() || lhs_rel == rhs_rel) continue;
+    // Try both orientations: child.fk = parent.pk.
+    for (const auto& [child_rel, child_col, parent_rel, parent_col] :
+         {std::tuple{lhs_rel, p.lhs.column.column, rhs_rel,
+                     p.rhs.column.column},
+          std::tuple{rhs_rel, p.rhs.column.column, lhs_rel,
+                     p.lhs.column.column}}) {
+      const sql::RelationDef* parent = catalog.FindRelation(parent_rel);
+      const sql::RelationDef* child = catalog.FindRelation(child_rel);
+      if (parent == nullptr || child == nullptr) continue;
+      // Single-column keys (the supported workloads use single-column FKs).
+      if (parent->primary_key.size() != 1 ||
+          parent->primary_key[0] != parent_col) {
+        continue;
+      }
+      for (const sql::ForeignKey& fk : child->foreign_keys) {
+        if (fk.ref_relation == parent_rel && fk.columns.size() == 1 &&
+            fk.columns[0] == child_col) {
+          out.push_back(QueryJoinEdge{SchemaEdge{parent_rel, child_rel, fk}});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double EdgeWeight(const SchemaEdge& edge, const sql::Workload& workload,
+                  const sql::Catalog& catalog) {
+  double weight = 0;
+  for (const sql::WorkloadStatement& stmt : workload.statements) {
+    const auto* sel = std::get_if<sql::SelectStatement>(&stmt.ast);
+    if (sel == nullptr) continue;
+    for (const QueryJoinEdge& qe : ExtractJoinEdges(*sel, catalog)) {
+      if (qe.edge == edge) {
+        weight += stmt.frequency;
+        break;
+      }
+    }
+  }
+  return weight;
+}
+
+}  // namespace synergy::core

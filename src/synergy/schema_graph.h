@@ -1,0 +1,70 @@
+// Schema graph model (§V, Definitions 1-3).
+//
+// Vertices are base relations; a directed edge runs from a relation Ri
+// (whose PK is referenced) to a relation Rj holding the foreign key:
+// Ri -> Rj exists iff FKk(Rj) references PK(Ri). Parallel edges are possible
+// (e.g. Employee's home and office address both reference Address).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/workload.h"
+
+namespace synergy::core {
+
+struct SchemaEdge {
+  std::string parent;  // PK side
+  std::string child;   // FK side
+  sql::ForeignKey fk;  // the child's foreign key
+
+  /// "(PK,FK)" label, e.g. "(AID,EHome_AID)".
+  std::string Label() const;
+  bool SameEndpoints(const SchemaEdge& other) const {
+    return parent == other.parent && child == other.child;
+  }
+  bool operator==(const SchemaEdge& other) const {
+    return parent == other.parent && child == other.child &&
+           fk.columns == other.fk.columns;
+  }
+};
+
+class SchemaGraph {
+ public:
+  /// Builds the graph from every base relation in the catalog (views are
+  /// excluded).
+  static SchemaGraph FromCatalog(const sql::Catalog& catalog);
+
+  const std::vector<std::string>& relations() const { return relations_; }
+  const std::vector<SchemaEdge>& edges() const { return edges_; }
+
+  std::vector<const SchemaEdge*> OutEdges(const std::string& relation) const;
+  std::vector<const SchemaEdge*> InEdges(const std::string& relation) const;
+  bool HasRelation(const std::string& relation) const;
+
+ private:
+  std::vector<std::string> relations_;
+  std::vector<SchemaEdge> edges_;
+};
+
+/// A join in a query that matches a schema edge: the query equates the
+/// child's FK column(s) with the parent's PK column(s).
+struct QueryJoinEdge {
+  SchemaEdge edge;
+};
+
+/// Extracts the key/foreign-key equi joins of a SELECT (other equi joins —
+/// non-key joins — are ignored, per the Synergy materialization boundary).
+std::vector<QueryJoinEdge> ExtractJoinEdges(const sql::SelectStatement& stmt,
+                                            const sql::Catalog& catalog);
+
+/// Workload-driven edge weight: the number of statements (scaled by
+/// frequency) whose join set contains the edge — the paper's
+/// "number of overlapping joins" heuristic.
+double EdgeWeight(const SchemaEdge& edge, const sql::Workload& workload,
+                  const sql::Catalog& catalog);
+
+}  // namespace synergy::core

@@ -1,0 +1,138 @@
+#include "synergy/unaware_selector.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace synergy::core {
+
+double EstimateRelationBytes(const sql::RelationDef& rel, size_t rows) {
+  double width = 0;
+  for (const sql::Column& col : rel.columns) {
+    width += col.type == DataType::kString ? 24.0 : 8.0;
+  }
+  return width * static_cast<double>(rows);
+}
+
+namespace {
+
+/// Maximal FK chains inside one query's join-edge set.
+std::vector<SelectedView> MaximalChains(
+    const std::vector<QueryJoinEdge>& joins) {
+  std::vector<SelectedView> out;
+  std::set<std::string> has_incoming;
+  for (const QueryJoinEdge& e : joins) has_incoming.insert(e.edge.child);
+  // Walk from every chain head.
+  for (const QueryJoinEdge& head : joins) {
+    if (has_incoming.contains(head.edge.parent)) continue;
+    // DFS over all chains starting at this head edge.
+    std::function<void(const std::string&, SelectedView)> walk =
+        [&](const std::string& node, SelectedView path) {
+          bool extended = false;
+          for (const QueryJoinEdge& e : joins) {
+            if (e.edge.parent != node) continue;
+            SelectedView next = path;
+            next.relations.push_back(e.edge.child);
+            next.edges.push_back(e.edge.fk);
+            walk(e.edge.child, std::move(next));
+            extended = true;
+          }
+          if (!extended && path.relations.size() >= 2) {
+            out.push_back(std::move(path));
+          }
+        };
+    SelectedView seed;
+    seed.root = head.edge.parent;  // no rooted tree: the chain head
+    seed.relations.push_back(head.edge.parent);
+    seed.edges.emplace_back();
+    walk(head.edge.parent, std::move(seed));
+  }
+  // De-duplicate.
+  std::vector<SelectedView> unique;
+  for (SelectedView& v : out) {
+    if (std::find(unique.begin(), unique.end(), v) == unique.end()) {
+      unique.push_back(std::move(v));
+    }
+  }
+  return unique;
+}
+
+}  // namespace
+
+std::vector<UnawareCandidate> EnumerateUnawareCandidates(
+    const sql::Workload& workload, const sql::Catalog& catalog,
+    const RowCountFn& rows) {
+  std::map<std::string, UnawareCandidate> by_name;
+  for (const sql::WorkloadStatement& stmt : workload.statements) {
+    const auto* sel = std::get_if<sql::SelectStatement>(&stmt.ast);
+    if (sel == nullptr) continue;
+    const std::vector<QueryJoinEdge> joins = ExtractJoinEdges(*sel, catalog);
+    if (joins.empty()) continue;
+    for (SelectedView& chain : MaximalChains(joins)) {
+      // Benefit: frequency-weighted scan work the view saves (reading one
+      // pre-joined relation instead of every member).
+      double scanned = 0;
+      for (const std::string& rel : chain.relations) {
+        scanned += static_cast<double>(rows(rel));
+      }
+      const std::string& last = chain.relations.back();
+      const double view_rows = static_cast<double>(rows(last));
+      const double benefit = stmt.frequency * std::max(0.0, scanned - view_rows);
+      // Storage: view rows x combined width.
+      double width = 0;
+      for (const std::string& rel_name : chain.relations) {
+        const sql::RelationDef* rel = catalog.FindRelation(rel_name);
+        if (rel != nullptr) {
+          width += EstimateRelationBytes(*rel, 1);
+        }
+      }
+      const std::string name = chain.Name();
+      auto [it, inserted] = by_name.try_emplace(name);
+      if (inserted) {
+        it->second.view = std::move(chain);
+        it->second.storage_bytes = width * view_rows;
+      }
+      it->second.benefit += benefit;
+    }
+  }
+  std::vector<UnawareCandidate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, cand] : by_name) out.push_back(std::move(cand));
+  return out;
+}
+
+std::vector<SelectedView> SelectViewsUnaware(const sql::Workload& workload,
+                                             const sql::Catalog& catalog,
+                                             const RowCountFn& rows,
+                                             const UnawareOptions& options) {
+  std::vector<UnawareCandidate> candidates =
+      EnumerateUnawareCandidates(workload, catalog, rows);
+  // Budget relative to the base footprint.
+  double base_bytes = 0;
+  for (const sql::RelationDef* rel : catalog.Relations()) {
+    if (catalog.IsView(rel->name)) continue;
+    base_bytes += EstimateRelationBytes(*rel, rows(rel->name));
+  }
+  double budget = base_bytes * options.storage_budget_fraction;
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const UnawareCandidate& a, const UnawareCandidate& b) {
+                     const double ra =
+                         a.benefit / std::max(1.0, a.storage_bytes);
+                     const double rb =
+                         b.benefit / std::max(1.0, b.storage_bytes);
+                     if (ra != rb) return ra > rb;
+                     return a.view.Name() < b.view.Name();
+                   });
+  std::vector<SelectedView> selected;
+  for (UnawareCandidate& cand : candidates) {
+    if (cand.storage_bytes > budget) continue;
+    // Also require the attribute-union to be well-formed.
+    if (!MaterializeViewDef(cand.view, catalog).ok()) continue;
+    budget -= cand.storage_bytes;
+    selected.push_back(std::move(cand.view));
+  }
+  return selected;
+}
+
+}  // namespace synergy::core

@@ -1,0 +1,49 @@
+// Schema-relationships-UNAWARE view selection (the MVCC-UA comparator).
+//
+// Models the tuning-advisor approach of Agrawal et al. (VLDB'00) the paper
+// compares against: purely workload-driven, oblivious to rooted trees and
+// the one-tree-per-relation restriction. Candidates are the FK join chains
+// appearing in each query; a greedy knapsack picks views by benefit per
+// storage byte under a storage budget. With TPC-W statistics and the
+// default budget this selects a single view (matching the paper's
+// observation that the advisor materialized one view, used by Q10).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "synergy/view_selection.h"
+
+namespace synergy::core {
+
+struct UnawareOptions {
+  /// Budget as a fraction of the estimated base-tables footprint (tuning
+  /// advisors are typically given an explicit storage bound; 0.6 admits the
+  /// highest-benefit-per-byte TPC-W views while rejecting the order-line-
+  /// grain monsters Synergy's schema-aware mechanism deliberately accepts).
+  double storage_budget_fraction = 0.6;
+};
+
+struct UnawareCandidate {
+  SelectedView view;
+  double benefit = 0;        // scan work saved, frequency-weighted
+  double storage_bytes = 0;  // estimated materialization footprint
+};
+
+using RowCountFn = std::function<size_t(const std::string& relation)>;
+
+/// Enumerates candidate views (maximal FK join chains per query).
+std::vector<UnawareCandidate> EnumerateUnawareCandidates(
+    const sql::Workload& workload, const sql::Catalog& catalog,
+    const RowCountFn& rows);
+
+/// Greedy benefit/storage selection under the budget.
+std::vector<SelectedView> SelectViewsUnaware(const sql::Workload& workload,
+                                             const sql::Catalog& catalog,
+                                             const RowCountFn& rows,
+                                             const UnawareOptions& options = {});
+
+/// Estimated on-disk bytes of one relation (rows x average row width).
+double EstimateRelationBytes(const sql::RelationDef& rel, size_t rows);
+
+}  // namespace synergy::core

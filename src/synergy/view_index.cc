@@ -1,0 +1,147 @@
+#include "synergy/view_index.h"
+
+#include <algorithm>
+#include <set>
+
+namespace synergy::core {
+namespace {
+
+std::vector<std::string> AllColumns(const sql::RelationDef& rel) {
+  std::vector<std::string> out;
+  out.reserve(rel.columns.size());
+  for (const sql::Column& c : rel.columns) out.push_back(c.name);
+  return out;
+}
+
+/// First column a storage structure is "indexed upon".
+std::string IndexedUpon(const sql::RelationDef& rel) {
+  return rel.primary_key.empty() ? "" : rel.primary_key.front();
+}
+
+bool AlreadyIndexedUpon(const std::string& attr, const sql::RelationDef& view,
+                        const std::vector<const sql::IndexDef*>& existing,
+                        const std::vector<sql::IndexDef>& pending) {
+  if (IndexedUpon(view) == attr) return true;
+  for (const sql::IndexDef* ix : existing) {
+    if (!ix->indexed_columns.empty() && ix->indexed_columns.front() == attr) {
+      return true;
+    }
+  }
+  for (const sql::IndexDef& ix : pending) {
+    if (ix.relation == view.name && !ix.indexed_columns.empty() &&
+        ix.indexed_columns.front() == attr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Filter attributes of `stmt` that land on `view_name` (const-comparison
+/// predicates only).
+std::vector<std::string> FilterAttributesOnView(
+    const sql::SelectStatement& stmt, const sql::RelationDef& view,
+    const std::string& view_name) {
+  std::vector<std::string> out;
+  for (const sql::Predicate& p : stmt.where) {
+    if (p.IsColumnColumn()) continue;
+    const sql::Operand& col_side =
+        p.lhs.kind == sql::Operand::Kind::kColumn ? p.lhs : p.rhs;
+    if (col_side.kind != sql::Operand::Kind::kColumn) continue;
+    const sql::ColumnRef& ref = col_side.column;
+    const bool on_view =
+        ref.qualifier == view_name ||
+        (ref.qualifier.empty() && view.HasColumn(ref.column));
+    if (on_view && view.HasColumn(ref.column)) out.push_back(ref.column);
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// Inherit the statistics hint from any base index on the same column.
+sql::IndexCardinality InheritCardinality(const sql::Catalog& catalog,
+                                         const std::string& column) {
+  for (const sql::RelationDef* rel : catalog.Relations()) {
+    for (const sql::IndexDef* ix : catalog.IndexesFor(rel->name)) {
+      if (!ix->indexed_columns.empty() && ix->indexed_columns.front() == column) {
+        return ix->cardinality;
+      }
+    }
+  }
+  return sql::IndexCardinality::kUnknown;
+}
+
+}  // namespace
+
+std::vector<sql::IndexDef> RecommendViewIndexes(
+    const sql::Workload& rewritten_workload, const sql::Catalog& catalog) {
+  std::vector<sql::IndexDef> recommended;
+  for (const sql::ViewDef* view : catalog.Views()) {
+    const sql::RelationDef* storage = catalog.FindRelation(view->name);
+    const auto existing = catalog.IndexesFor(view->name);
+    for (const sql::WorkloadStatement& stmt : rewritten_workload.statements) {
+      const auto* sel = std::get_if<sql::SelectStatement>(&stmt.ast);
+      if (sel == nullptr) continue;
+      const bool uses_view = std::any_of(
+          sel->from.begin(), sel->from.end(),
+          [&](const sql::TableRef& t) { return t.table == view->name; });
+      if (!uses_view) continue;
+      const std::vector<std::string> filters =
+          FilterAttributesOnView(*sel, *storage, view->name);
+      if (filters.empty()) continue;
+      const bool any_indexed = std::any_of(
+          filters.begin(), filters.end(), [&](const std::string& attr) {
+            return AlreadyIndexedUpon(attr, *storage, existing, recommended);
+          });
+      if (any_indexed) continue;
+      sql::IndexDef ix;
+      ix.name = "vix_" + view->name + "_" + filters.front();
+      ix.relation = view->name;
+      ix.indexed_columns = {filters.front()};
+      ix.covered_columns = AllColumns(*storage);
+      ix.cardinality = InheritCardinality(catalog, filters.front());
+      recommended.push_back(std::move(ix));
+    }
+  }
+  return recommended;
+}
+
+std::vector<sql::IndexDef> RecommendMaintenanceIndexes(
+    const sql::Workload& workload, const sql::Catalog& catalog) {
+  // Relations the workload updates.
+  std::set<std::string> updated;
+  for (const sql::WorkloadStatement& stmt : workload.statements) {
+    if (const auto* upd = std::get_if<sql::UpdateStatement>(&stmt.ast)) {
+      updated.insert(upd->table);
+    }
+  }
+  std::vector<sql::IndexDef> recommended;
+  for (const sql::ViewDef* view : catalog.Views()) {
+    const sql::RelationDef* storage = catalog.FindRelation(view->name);
+    const auto existing = catalog.IndexesFor(view->name);
+    for (size_t i = 0; i + 1 < view->relations.size(); ++i) {
+      const std::string& member = view->relations[i];
+      if (!updated.contains(member)) continue;
+      const sql::RelationDef* rel = catalog.FindRelation(member);
+      if (rel == nullptr || rel->primary_key.size() != 1) continue;
+      const std::string& attr = rel->primary_key.front();
+      if (AlreadyIndexedUpon(attr, *storage, existing, recommended)) continue;
+      sql::IndexDef ix;
+      ix.name = "mix_" + view->name + "_" + attr;
+      ix.relation = view->name;
+      ix.indexed_columns = {attr};
+      // Key-only: maintenance only needs attr -> view-PK mapping (the
+      // catalog adds the PK columns automatically), so don't duplicate the
+      // whole view the way query-serving covered indexes must.
+      ix.covered_columns = {attr};
+      // Member PKs fan out like foreign keys inside the view.
+      ix.cardinality = sql::IndexCardinality::kHigh;
+      recommended.push_back(std::move(ix));
+    }
+  }
+  return recommended;
+}
+
+}  // namespace synergy::core

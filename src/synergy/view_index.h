@@ -1,0 +1,24 @@
+// Additional view-indexes (§VI-C) and maintenance indexes (§VII-C).
+#pragma once
+
+#include <vector>
+
+#include "sql/catalog.h"
+#include "sql/workload.h"
+
+namespace synergy::core {
+
+/// §VI-C: for each view, examine each (rewritten) conjunctive query using
+/// it; when the query only filters on attributes that neither the view key
+/// nor any existing view-index is indexed upon, recommend a covered index
+/// on one filter attribute. Recommended indexes cover all view columns.
+std::vector<sql::IndexDef> RecommendViewIndexes(
+    const sql::Workload& rewritten_workload, const sql::Catalog& catalog);
+
+/// §VII-C: to prepare view updates efficiently, recommend an index on the
+/// member-relation PK attribute for every view member that (a) is not the
+/// view's last relation and (b) is the target of an UPDATE in the workload.
+std::vector<sql::IndexDef> RecommendMaintenanceIndexes(
+    const sql::Workload& workload, const sql::Catalog& catalog);
+
+}  // namespace synergy::core

@@ -1,0 +1,147 @@
+#include "synergy/view_maintenance.h"
+
+#include <algorithm>
+
+namespace synergy::core {
+
+bool ViewMaintainer::UpdateApplies(const sql::ViewDef& view,
+                                   const std::string& relation) {
+  return std::find(view.relations.begin(), view.relations.end(), relation) !=
+         view.relations.end();
+}
+
+Status ViewMaintainer::ApplyInsert(hbase::Session& s,
+                                   const std::string& relation,
+                                   const exec::Tuple& tuple) {
+  const sql::Catalog& catalog = adapter_->catalog();
+  for (const sql::ViewDef* view : catalog.Views()) {
+    if (!InsertApplies(*view, relation)) continue;
+    // Walk the FK chain from the inserted (last) relation up to the view
+    // head, reading one ancestor tuple per hop.
+    exec::Tuple view_tuple = tuple;
+    exec::Tuple current = tuple;
+    bool complete = true;
+    for (size_t i = view->relations.size() - 1; i >= 1; --i) {
+      const sql::ForeignKey& fk = view->edges[i];
+      std::vector<Value> parent_pk;
+      parent_pk.reserve(fk.columns.size());
+      bool missing_fk = false;
+      for (const std::string& col : fk.columns) {
+        auto it = current.find(col);
+        if (it == current.end() || it->second.is_null()) {
+          missing_fk = true;
+          break;
+        }
+        parent_pk.push_back(it->second);
+      }
+      if (missing_fk) {
+        complete = false;
+        break;
+      }
+      SYNERGY_ASSIGN_OR_RETURN(
+          parent, adapter_->GetByPk(s, view->relations[i - 1], parent_pk));
+      if (!parent.has_value()) {
+        complete = false;  // FK constraints are not enforced (§IV)
+        break;
+      }
+      for (const auto& [col, value] : parent->tuple) view_tuple[col] = value;
+      current = parent->tuple;
+    }
+    if (!complete) continue;
+    SYNERGY_RETURN_IF_ERROR(adapter_->Insert(s, view->name, view_tuple));
+  }
+  return Status::Ok();
+}
+
+Status ViewMaintainer::ApplyDelete(hbase::Session& s,
+                                   const std::string& relation,
+                                   const std::vector<Value>& pk_values) {
+  const sql::Catalog& catalog = adapter_->catalog();
+  for (const sql::ViewDef* view : catalog.Views()) {
+    if (!DeleteApplies(*view, relation)) continue;
+    SYNERGY_RETURN_IF_ERROR(adapter_->DeleteByPk(s, view->name, pk_values));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ViewMaintainer::AffectedRows>>
+ViewMaintainer::FindAffected(hbase::Session& s, const std::string& relation,
+                             const std::vector<Value>& pk_values) {
+  const sql::Catalog& catalog = adapter_->catalog();
+  std::vector<AffectedRows> out;
+  for (const sql::ViewDef* view : catalog.Views()) {
+    if (!UpdateApplies(*view, relation)) continue;
+    AffectedRows affected;
+    affected.view = view->name;
+    if (view->relations.back() == relation) {
+      // The view key is the base key: exactly one row.
+      SYNERGY_ASSIGN_OR_RETURN(row,
+                               adapter_->GetByPk(s, view->name, pk_values));
+      if (row.has_value()) affected.view_pks.push_back(pk_values);
+      out.push_back(std::move(affected));
+      continue;
+    }
+    // Mid-path member: locate rows by the member's PK attribute, via a
+    // maintenance/view index indexed upon that attribute when present.
+    const sql::RelationDef* member = catalog.FindRelation(relation);
+    const sql::RelationDef* storage = catalog.FindRelation(view->name);
+    if (member == nullptr || member->primary_key.size() != 1) {
+      return Status::Unimplemented(
+          "multi-column member PK in view maintenance");
+    }
+    const std::string& attr = member->primary_key.front();
+    const sql::IndexDef* via_index = nullptr;
+    for (const sql::IndexDef* ix : catalog.IndexesFor(view->name)) {
+      if (!ix->indexed_columns.empty() && ix->indexed_columns.front() == attr) {
+        via_index = ix;
+        break;
+      }
+    }
+    auto collect = [&](exec::TupleScanner scanner) -> Status {
+      exec::TupleWithMeta twm;
+      while (true) {
+        SYNERGY_ASSIGN_OR_RETURN(more, scanner.Next(&twm));
+        if (!more) break;
+        auto it = twm.tuple.find(attr);
+        if (it == twm.tuple.end() || !(it->second == pk_values[0])) continue;
+        std::vector<Value> vpk;
+        for (const std::string& col : storage->primary_key) {
+          auto pit = twm.tuple.find(col);
+          if (pit == twm.tuple.end()) {
+            return Status::Internal("view row missing PK column " + col);
+          }
+          vpk.push_back(pit->second);
+        }
+        affected.view_pks.push_back(std::move(vpk));
+      }
+      return Status::Ok();
+    };
+    if (via_index != nullptr) {
+      SYNERGY_ASSIGN_OR_RETURN(
+          scanner,
+          adapter_->ScanIndexPrefix(s, via_index->name, {pk_values[0]}));
+      SYNERGY_RETURN_IF_ERROR(collect(std::move(scanner)));
+    } else {
+      SYNERGY_ASSIGN_OR_RETURN(scanner, adapter_->ScanAll(s, view->name));
+      SYNERGY_RETURN_IF_ERROR(collect(std::move(scanner)));
+    }
+    out.push_back(std::move(affected));
+  }
+  return out;
+}
+
+Status ViewMaintainer::UpdateViewRow(
+    hbase::Session& s, const std::string& view,
+    const std::vector<Value>& view_pk,
+    const std::vector<std::pair<std::string, Value>>& sets) {
+  const sql::RelationDef* storage = adapter_->catalog().FindRelation(view);
+  if (storage == nullptr) return Status::NotFound("view " + view);
+  std::vector<std::pair<std::string, Value>> applicable;
+  for (const auto& [col, value] : sets) {
+    if (storage->HasColumn(col)) applicable.emplace_back(col, value);
+  }
+  if (applicable.empty()) return Status::Ok();
+  return adapter_->UpdateByPk(s, view, view_pk, applicable);
+}
+
+}  // namespace synergy::core

@@ -1,0 +1,164 @@
+#include "synergy/view_selection.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace synergy::core {
+
+std::string SelectedView::Name() const {
+  return JoinStrings(relations, "-");
+}
+
+namespace {
+
+struct Marking {
+  std::set<std::string> relations;
+  std::set<const TreeEdge*> edges;
+};
+
+/// True when the statement references any FROM relation twice.
+bool UsesRelationTwice(const sql::SelectStatement& stmt) {
+  std::set<std::string> seen;
+  for (const sql::TableRef& ref : stmt.from) {
+    if (!seen.insert(ref.table).second) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SelectedView> SelectViewsForQuery(
+    const sql::SelectStatement& stmt, const sql::Catalog& catalog,
+    const std::vector<RootedTree>& trees) {
+  std::vector<SelectedView> selected;
+  if (UsesRelationTwice(stmt)) return selected;
+  const std::vector<QueryJoinEdge> joins = ExtractJoinEdges(stmt, catalog);
+  if (joins.empty()) return selected;
+
+  for (const RootedTree& tree : trees) {
+    // Mark edges and participating relations.
+    Marking mark;
+    for (const TreeEdge& e : tree.edges()) {
+      for (const QueryJoinEdge& qe : joins) {
+        if (qe.edge.parent == e.parent && qe.edge.child == e.child &&
+            qe.edge.fk.columns == e.fk.columns) {
+          mark.edges.insert(&e);
+          mark.relations.insert(e.parent);
+          mark.relations.insert(e.child);
+        }
+      }
+    }
+    // Iteratively choose paths.
+    while (true) {
+      // Rule 2: start = a marked node with no incoming marked edge.
+      std::string start;
+      for (const std::string& rel : tree.Members()) {
+        if (!mark.relations.contains(rel)) continue;
+        const TreeEdge* in = tree.EdgeTo(rel);
+        if (in != nullptr && mark.edges.contains(in)) continue;
+        // The start must also have an outgoing marked edge (paths have >= 2
+        // relations).
+        bool has_out = false;
+        for (const TreeEdge& e : tree.edges()) {
+          if (e.parent == rel && mark.edges.contains(&e) &&
+              mark.relations.contains(e.child)) {
+            has_out = true;
+            break;
+          }
+        }
+        if (has_out) {
+          start = rel;
+          break;
+        }
+      }
+      if (start.empty()) break;
+
+      // Walk marked edges (highest weight first on fan-out) until a leaf or
+      // a node with no outgoing marked edge.
+      SelectedView view;
+      view.root = tree.root();
+      view.relations.push_back(start);
+      view.edges.emplace_back();  // placeholder for the head
+      std::string cur = start;
+      while (true) {
+        const TreeEdge* next = nullptr;
+        for (const TreeEdge& e : tree.edges()) {
+          if (e.parent != cur || !mark.edges.contains(&e) ||
+              !mark.relations.contains(e.child)) {
+            continue;
+          }
+          if (next == nullptr || e.weight > next->weight) next = &e;
+        }
+        if (next == nullptr) break;
+        view.relations.push_back(next->child);
+        view.edges.push_back(next->fk);
+        cur = next->child;
+      }
+      // Select the path as a view; unmark participants and their out-edges.
+      for (const std::string& rel : view.relations) {
+        mark.relations.erase(rel);
+        for (const TreeEdge& e : tree.edges()) {
+          if (e.parent == rel) mark.edges.erase(&e);
+        }
+      }
+      selected.push_back(std::move(view));
+    }
+  }
+  return selected;
+}
+
+std::vector<SelectedView> SelectViews(const sql::Workload& workload,
+                                      const sql::Catalog& catalog,
+                                      const std::vector<RootedTree>& trees) {
+  std::vector<SelectedView> all;
+  for (const sql::WorkloadStatement& stmt : workload.statements) {
+    const auto* sel = std::get_if<sql::SelectStatement>(&stmt.ast);
+    if (sel == nullptr) continue;
+    for (SelectedView& v : SelectViewsForQuery(*sel, catalog, trees)) {
+      if (std::find(all.begin(), all.end(), v) == all.end()) {
+        all.push_back(std::move(v));
+      }
+    }
+  }
+  return all;
+}
+
+StatusOr<std::pair<sql::ViewDef, sql::RelationDef>> MaterializeViewDef(
+    const SelectedView& view, const sql::Catalog& catalog) {
+  sql::ViewDef def;
+  def.name = view.Name();
+  def.relations = view.relations;
+  def.root = view.root;
+  def.edges.resize(view.relations.size());
+  for (size_t i = 1; i < view.relations.size(); ++i) {
+    def.edges[i] = view.edges[i];
+  }
+
+  sql::RelationDef storage;
+  storage.name = def.name;
+  std::set<std::string> seen;
+  for (const std::string& rel_name : view.relations) {
+    const sql::RelationDef* rel = catalog.FindRelation(rel_name);
+    if (rel == nullptr) return Status::NotFound("relation " + rel_name);
+    for (const sql::Column& col : rel->columns) {
+      if (!seen.insert(col.name).second) {
+        return Status::InvalidArgument(
+            "duplicate attribute " + col.name + " across view members of " +
+            def.name);
+      }
+      storage.columns.push_back(col);
+    }
+  }
+  const sql::RelationDef* last =
+      catalog.FindRelation(view.relations.back());
+  storage.primary_key = last->primary_key;
+  // Record the member FKs so the view itself can participate in lookups.
+  for (size_t i = 1; i < view.relations.size(); ++i) {
+    storage.foreign_keys.push_back(view.edges[i]);
+  }
+  return std::make_pair(std::move(def), std::move(storage));
+}
+
+}  // namespace synergy::core

@@ -1,0 +1,51 @@
+// Workload-driven views selection (§VI-A) and the path-marking procedure.
+//
+// For each equi-join query: mark the rooted-tree edges (and their endpoint
+// relations) that the query joins over, then repeatedly peel off a maximal
+// marked path (start: marked node with no incoming marked edge; end: leaf or
+// no outgoing marked edge), select it as a view, and unmark its relations
+// and their outgoing edges.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "synergy/candidate_views.h"
+
+namespace synergy::core {
+
+/// A selected view: a path of relations (root-most first) plus the FK edges
+/// linking consecutive members.
+struct SelectedView {
+  std::string root;                    // root of the originating tree
+  std::vector<std::string> relations;  // path order, parent first
+  std::vector<sql::ForeignKey> edges;  // edges[i] = FK of relations[i] ->
+                                       // relations[i-1]; edges[0] unused
+
+  std::string Name() const;  // "R2-R3-R4"
+  bool operator==(const SelectedView& other) const {
+    return relations == other.relations;
+  }
+};
+
+/// Views the marking procedure selects for one query.
+std::vector<SelectedView> SelectViewsForQuery(
+    const sql::SelectStatement& stmt, const sql::Catalog& catalog,
+    const std::vector<RootedTree>& trees);
+
+/// Final view set for a workload: the union over all equi-join queries,
+/// de-duplicated. Queries that use a relation more than once are skipped
+/// (unsupported in Synergy, §VIII-C).
+std::vector<SelectedView> SelectViews(const sql::Workload& workload,
+                                      const sql::Catalog& catalog,
+                                      const std::vector<RootedTree>& trees);
+
+/// Builds the catalog metadata + storage definition for a selected view:
+/// attributes = union of member attributes (duplicate names rejected),
+/// PK = PK of the last relation, FKs = the member FKs linking the path.
+StatusOr<std::pair<sql::ViewDef, sql::RelationDef>> MaterializeViewDef(
+    const SelectedView& view, const sql::Catalog& catalog);
+
+}  // namespace synergy::core

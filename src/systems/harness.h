@@ -1,0 +1,47 @@
+// Benchmark harness helpers: repetition/measurement (mean + standard error
+// over N runs, as the paper reports) and fixed-width table printing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "systems/evaluated_system.h"
+#include "tpcw/generator.h"
+
+namespace synergy::systems {
+
+struct Measurement {
+  RunningStats rt_ms;
+  size_t rows = 0;
+  bool supported = true;
+  Status error;  // first error, if any
+};
+
+/// Runs `stmt_id` `reps` times with freshly drawn parameters and collects
+/// response-time statistics.
+Measurement MeasureStatement(EvaluatedSystem& system,
+                             tpcw::ParamProvider& params,
+                             const std::string& stmt_id, int reps);
+
+/// "123.4" / "1.2e+04"-style compact ms formatting for table cells.
+std::string FormatMs(double ms);
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int col_width = 12);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int col_width_;
+};
+
+/// Environment knobs shared by every bench binary.
+int64_t EnvCustomers(int64_t default_value);   // SYNERGY_TPCW_CUSTOMERS
+int EnvReps(int default_value);                // SYNERGY_BENCH_REPS
+
+}  // namespace synergy::systems

@@ -1,0 +1,40 @@
+// EvaluatedSystem adapter around the core Synergy system.
+#pragma once
+
+#include <memory>
+
+#include "synergy/synergy_system.h"
+#include "systems/evaluated_system.h"
+#include "tpcw/schema.h"
+#include "tpcw/workload.h"
+
+namespace synergy::systems {
+
+class SynergyWrapper : public EvaluatedSystem {
+ public:
+  /// `roots` defaults to the paper's Q_TPC-W; ablation benches pass
+  /// alternative root sets to probe the sensitivity of root selection.
+  explicit SynergyWrapper(std::vector<std::string> roots = tpcw::Roots(),
+                          std::string name = "Synergy")
+      : name_(std::move(name)), roots_(std::move(roots)) {}
+
+  const std::string& name() const override { return name_; }
+  Status Setup(const tpcw::ScaleConfig& scale) override;
+  StatusOr<StatementResult> Execute(
+      const std::string& stmt_id, const std::vector<Value>& params) override;
+  double DbSizeBytes() const override;
+  std::string Description() const override {
+    return "schema-based workload-driven views; hierarchical locking";
+  }
+  std::vector<std::string> ViewNames() const override;
+
+  core::SynergySystem* system() { return system_.get(); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> roots_;
+  std::unique_ptr<hbase::Cluster> cluster_;
+  std::unique_ptr<core::SynergySystem> system_;
+};
+
+}  // namespace synergy::systems

@@ -1,0 +1,36 @@
+#include "systems/voltdb_system.h"
+
+namespace synergy::systems {
+
+Status VoltDbSystem::Setup(const tpcw::ScaleConfig& scale) {
+  db_ = std::make_unique<newsql::VoltDb>();
+  SYNERGY_RETURN_IF_ERROR(db_->Init(tpcw::BuildCatalog()));
+  workload_ = tpcw::BuildWorkload();
+  return tpcw::GenerateDatabase(
+      scale, [&](const std::string& relation, const exec::Tuple& tuple) {
+        return db_->Load(relation, tuple);
+      });
+}
+
+StatusOr<StatementResult> VoltDbSystem::Execute(
+    const std::string& stmt_id, const std::vector<Value>& params) {
+  const sql::WorkloadStatement* stmt = workload_.Find(stmt_id);
+  if (stmt == nullptr) return Status::NotFound("statement " + stmt_id);
+  StatusOr<newsql::VoltDb::ExecResult> r = db_->Execute(stmt->ast, params);
+  if (!r.ok()) {
+    if (r.status().code() == StatusCode::kUnimplemented) {
+      StatementResult unsupported;
+      unsupported.supported = false;
+      return unsupported;
+    }
+    return r.status();
+  }
+  StatementResult result;
+  result.virtual_ms = r->virtual_ms;
+  result.rows = r->rows;
+  return result;
+}
+
+double VoltDbSystem::DbSizeBytes() const { return db_->DbSizeBytes(); }
+
+}  // namespace synergy::systems

@@ -1,0 +1,32 @@
+// EvaluatedSystem adapter around the VoltDB-like engine.
+#pragma once
+
+#include <memory>
+
+#include "newsql/voltdb_sim.h"
+#include "systems/evaluated_system.h"
+#include "tpcw/schema.h"
+#include "tpcw/workload.h"
+
+namespace synergy::systems {
+
+class VoltDbSystem : public EvaluatedSystem {
+ public:
+  VoltDbSystem() : name_("VoltDB") {}
+
+  const std::string& name() const override { return name_; }
+  Status Setup(const tpcw::ScaleConfig& scale) override;
+  StatusOr<StatementResult> Execute(
+      const std::string& stmt_id, const std::vector<Value>& params) override;
+  double DbSizeBytes() const override;
+  std::string Description() const override {
+    return "no views; single-threaded partition processing (3 schemes)";
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<newsql::VoltDb> db_;
+  sql::Workload workload_;
+};
+
+}  // namespace synergy::systems

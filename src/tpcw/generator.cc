@@ -1,0 +1,279 @@
+#include "tpcw/generator.h"
+
+namespace synergy::tpcw {
+namespace {
+
+std::string Uname(int64_t c_id) { return "USER" + std::to_string(c_id); }
+
+}  // namespace
+
+const std::vector<std::string>& Subjects() {
+  static const std::vector<std::string> kSubjects = {
+      "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS",
+      "COOKING", "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE",
+      "MYSTERY", "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE",
+      "RELIGION", "ROMANCE", "SELF-HELP", "SCIENCE-NATURE",
+      "SCIENCE-FICTION", "SPORTS", "YOUTH", "TRAVEL"};
+  return kSubjects;
+}
+
+Status GenerateDatabase(const ScaleConfig& cfg, const TupleSink& sink) {
+  Rng rng(cfg.seed);
+  // Countries.
+  for (int64_t id = 1; id <= cfg.num_countries(); ++id) {
+    SYNERGY_RETURN_IF_ERROR(sink(
+        "Country", {{"co_id", Value(id)},
+                    {"co_name", Value("COUNTRY" + std::to_string(id))},
+                    {"co_exchange", Value(rng.UniformReal(0.1, 10.0))},
+                    {"co_currency", Value(rng.AlphaString(3))}}));
+  }
+  // Addresses.
+  for (int64_t id = 1; id <= cfg.num_addresses(); ++id) {
+    SYNERGY_RETURN_IF_ERROR(sink(
+        "Address",
+        {{"addr_id", Value(id)},
+         {"addr_street1", Value(rng.AlphaString(16))},
+         {"addr_street2", Value(rng.AlphaString(16))},
+         {"addr_city", Value(rng.AlphaString(10))},
+         {"addr_state", Value(rng.AlphaString(2))},
+         {"addr_zip", Value(rng.AlphaString(5))},
+         {"addr_co_id", Value(rng.Uniform(1, cfg.num_countries()))}}));
+  }
+  // Authors.
+  for (int64_t id = 1; id <= cfg.num_authors(); ++id) {
+    SYNERGY_RETURN_IF_ERROR(sink(
+        "Author", {{"a_id", Value(id)},
+                   {"a_fname", Value(rng.AlphaString(8))},
+                   {"a_lname", Value(rng.AlphaString(10))},
+                   {"a_mname", Value(rng.AlphaString(1))},
+                   {"a_dob", Value(rng.Uniform(1900, 1999))},
+                   {"a_bio", Value(rng.AlphaString(60))}}));
+  }
+  // Customers.
+  for (int64_t id = 1; id <= cfg.num_customers; ++id) {
+    SYNERGY_RETURN_IF_ERROR(sink(
+        "Customer",
+        {{"c_id", Value(id)},
+         {"c_uname", Value(Uname(id))},
+         {"c_passwd", Value(rng.AlphaString(8))},
+         {"c_fname", Value(rng.AlphaString(8))},
+         {"c_lname", Value(rng.AlphaString(10))},
+         {"c_addr_id", Value(rng.Uniform(1, cfg.num_addresses()))},
+         {"c_phone", Value(rng.AlphaString(10))},
+         {"c_email", Value(rng.AlphaString(12))},
+         {"c_since", Value(rng.Uniform(20000101, 20170101))},
+         {"c_last_login", Value(rng.Uniform(20170101, 20170930))},
+         {"c_login", Value(rng.Uniform(0, 1000000))},
+         {"c_expiration", Value(rng.Uniform(20180101, 20200101))},
+         {"c_discount", Value(rng.UniformReal(0.0, 0.5))},
+         {"c_balance", Value(rng.UniformReal(-100.0, 100.0))},
+         {"c_ytd_pmt", Value(rng.UniformReal(0.0, 10000.0))},
+         {"c_birthdate", Value(rng.Uniform(19200101, 19991231))},
+         {"c_data", Value(rng.AlphaString(80))}}));
+  }
+  // Items.
+  const auto& subjects = Subjects();
+  for (int64_t id = 1; id <= cfg.num_items(); ++id) {
+    auto related = [&] { return Value(rng.Uniform(1, cfg.num_items())); };
+    SYNERGY_RETURN_IF_ERROR(sink(
+        "Item",
+        {{"i_id", Value(id)},
+         {"i_title", Value("TITLE" + std::to_string(rng.Next() % 100000))},
+         {"i_a_id", Value(rng.Uniform(1, cfg.num_authors()))},
+         {"i_pub_date", Value(rng.Uniform(19500101, 20170101))},
+         {"i_publisher", Value(rng.AlphaString(14))},
+         {"i_subject",
+          Value(subjects[static_cast<size_t>(rng.Next() % subjects.size())])},
+         {"i_desc", Value(rng.AlphaString(100))},
+         {"i_related1", related()},
+         {"i_related2", related()},
+         {"i_related3", related()},
+         {"i_related4", related()},
+         {"i_related5", related()},
+         {"i_thumbnail", Value(rng.AlphaString(20))},
+         {"i_image", Value(rng.AlphaString(20))},
+         {"i_srp", Value(rng.UniformReal(1.0, 300.0))},
+         {"i_cost", Value(rng.UniformReal(1.0, 300.0))},
+         {"i_avail", Value(rng.Uniform(20170101, 20171231))},
+         {"i_stock", Value(rng.Uniform(10, 30))},
+         {"i_isbn", Value(rng.AlphaString(13))},
+         {"i_page", Value(rng.Uniform(20, 9999))},
+         {"i_backing", Value(rng.AlphaString(5))},
+         {"i_dimensions", Value(rng.AlphaString(12))}}));
+  }
+  // Orders + lines + credit-card transactions (Customer:Orders = 1:10).
+  int64_t next_ol_id = 1;
+  for (int64_t o_id = 1; o_id <= cfg.num_orders(); ++o_id) {
+    const int64_t c_id = (o_id - 1) % cfg.num_customers + 1;
+    SYNERGY_RETURN_IF_ERROR(sink(
+        "Orders",
+        {{"o_id", Value(o_id)},
+         {"o_c_id", Value(c_id)},
+         {"o_date", Value(rng.Uniform(20150101, 20170930))},
+         {"o_sub_total", Value(rng.UniformReal(10.0, 1000.0))},
+         {"o_tax", Value(rng.UniformReal(0.0, 80.0))},
+         {"o_total", Value(rng.UniformReal(10.0, 1100.0))},
+         {"o_ship_type", Value(rng.AlphaString(6))},
+         {"o_ship_date", Value(rng.Uniform(20150101, 20171001))},
+         {"o_bill_addr_id", Value(rng.Uniform(1, cfg.num_addresses()))},
+         {"o_ship_addr_id", Value(rng.Uniform(1, cfg.num_addresses()))},
+         {"o_status", Value(rng.AlphaString(8))}}));
+    const int64_t lines = rng.Uniform(1, 5);
+    for (int64_t l = 0; l < lines; ++l) {
+      SYNERGY_RETURN_IF_ERROR(sink(
+          "Order_line",
+          {{"ol_id", Value(next_ol_id++)},
+           {"ol_o_id", Value(o_id)},
+           {"ol_i_id", Value(rng.Uniform(1, cfg.num_items()))},
+           {"ol_qty", Value(rng.Uniform(1, 10))},
+           {"ol_discount", Value(rng.UniformReal(0.0, 0.3))},
+           {"ol_comments", Value(rng.AlphaString(20))}}));
+    }
+    SYNERGY_RETURN_IF_ERROR(sink(
+        "CC_Xacts",
+        {{"cx_o_id", Value(o_id)},
+         {"cx_type", Value(rng.Next() % 2 ? "VISA" : "AMEX")},
+         {"cx_num", Value(rng.AlphaString(16))},
+         {"cx_name", Value(rng.AlphaString(14))},
+         {"cx_expiry", Value(rng.Uniform(20180101, 20220101))},
+         {"cx_auth_id", Value(rng.AlphaString(15))},
+         {"cx_xact_amt", Value(rng.UniformReal(10.0, 1100.0))},
+         {"cx_xact_date", Value(rng.Uniform(20150101, 20171001))},
+         {"cx_co_id", Value(rng.Uniform(1, cfg.num_countries()))}}));
+  }
+  // Shopping carts.
+  for (int64_t sc = 1; sc <= cfg.num_carts(); ++sc) {
+    SYNERGY_RETURN_IF_ERROR(
+        sink("Shopping_cart", {{"sc_id", Value(sc)},
+                               {"sc_time", Value(rng.Uniform(0, 1 << 30))}}));
+    const int64_t lines = rng.Uniform(1, 3);
+    for (int64_t l = 0; l < lines; ++l) {
+      SYNERGY_RETURN_IF_ERROR(sink(
+          "Shopping_cart_line",
+          {{"scl_sc_id", Value(sc)},
+           {"scl_i_id", Value(rng.Uniform(1, cfg.num_items()))},
+           {"scl_qty", Value(rng.Uniform(1, 5))}}));
+    }
+  }
+  // Orders_tmp: the most recent orders (highest ids).
+  for (int64_t k = 0; k < cfg.num_orders_tmp(); ++k) {
+    SYNERGY_RETURN_IF_ERROR(
+        sink("Orders_tmp", {{"ot_o_id", Value(cfg.num_orders() - k)}}));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Value>> ParamProvider::ParamsFor(
+    const std::string& id) {
+  const auto& subjects = Subjects();
+  auto subject = [&] {
+    return Value(subjects[static_cast<size_t>(rng_.Next() % subjects.size())]);
+  };
+  auto cust = [&] { return Value(rng_.Uniform(1, config_.num_customers)); };
+  auto item = [&] { return Value(rng_.Uniform(1, config_.num_items())); };
+  auto order = [&] { return Value(rng_.Uniform(1, config_.num_orders())); };
+  auto cart = [&] { return Value(rng_.Uniform(1, config_.num_carts())); };
+  auto addr = [&] { return Value(rng_.Uniform(1, config_.num_addresses())); };
+
+  if (id == "Q1") return std::vector<Value>{order()};
+  if (id == "Q2" || id == "Q3") {
+    return std::vector<Value>{Value(Uname(rng_.Uniform(1, config_.num_customers)))};
+  }
+  if (id == "Q4" || id == "Q5" || id == "Q10") {
+    return std::vector<Value>{subject()};
+  }
+  if (id == "Q6" || id == "Q9") return std::vector<Value>{item()};
+  if (id == "Q7") return std::vector<Value>{order()};
+  if (id == "Q8") return std::vector<Value>{cart()};
+  if (id == "Q11") {
+    const Value i = item();
+    return std::vector<Value>{i, i};
+  }
+  if (id == "W1") {
+    return std::vector<Value>{Value(NextFreshId()), cust(), Value(20171001),
+                              Value(100.0),          Value(8.0),
+                              Value(108.0),          Value("FEDEX"),
+                              Value(20171002),       addr(),
+                              addr(),                Value("PENDING")};
+  }
+  if (id == "W2") {
+    return std::vector<Value>{Value(NextFreshId()),
+                              Value("VISA"),
+                              Value(rng_.AlphaString(16)),
+                              Value(rng_.AlphaString(14)),
+                              Value(20191231),
+                              Value(rng_.AlphaString(15)),
+                              Value(108.0),
+                              Value(20171001),
+                              Value(rng_.Uniform(1, config_.num_countries()))};
+  }
+  if (id == "W3") {
+    return std::vector<Value>{Value(NextFreshId()), order(), item(),
+                              Value(rng_.Uniform(1, 10)), Value(0.1),
+                              Value(rng_.AlphaString(20))};
+  }
+  if (id == "W4") {
+    const int64_t fresh = NextFreshId();
+    return std::vector<Value>{Value(fresh),
+                              Value("USER" + std::to_string(fresh)),
+                              Value(rng_.AlphaString(8)),
+                              Value(rng_.AlphaString(8)),
+                              Value(rng_.AlphaString(10)),
+                              addr(),
+                              Value(rng_.AlphaString(10)),
+                              Value(rng_.AlphaString(12)),
+                              Value(20171001),
+                              Value(20171001),
+                              Value(0),
+                              Value(20200101),
+                              Value(0.1),
+                              Value(0.0),
+                              Value(0.0),
+                              Value(19800101),
+                              Value(rng_.AlphaString(80))};
+  }
+  if (id == "W5") {
+    return std::vector<Value>{Value(NextFreshId()),
+                              Value(rng_.AlphaString(16)),
+                              Value(rng_.AlphaString(16)),
+                              Value(rng_.AlphaString(10)),
+                              Value(rng_.AlphaString(2)),
+                              Value(rng_.AlphaString(5)),
+                              Value(rng_.Uniform(1, config_.num_countries()))};
+  }
+  if (id == "W6") {
+    return std::vector<Value>{Value(NextFreshId()), Value(20171001)};
+  }
+  if (id == "W7") {
+    return std::vector<Value>{cart(), Value(NextFreshId()),
+                              Value(rng_.Uniform(1, 5))};
+  }
+  if (id == "W8") return std::vector<Value>{cart(), item()};
+  if (id == "W9") {
+    return std::vector<Value>{Value(19.99), Value(20171001),
+                              Value(rng_.AlphaString(14)), item()};
+  }
+  if (id == "W10") {
+    return std::vector<Value>{Value(rng_.AlphaString(20)),
+                              Value(rng_.AlphaString(20)), item()};
+  }
+  if (id == "W11") return std::vector<Value>{Value(20171002), cart()};
+  if (id == "W12") {
+    return std::vector<Value>{Value(rng_.Uniform(1, 9)), cart(), item()};
+  }
+  if (id == "W13") {
+    return std::vector<Value>{Value(50.0), Value(1000.0), Value(20171001),
+                              cust()};
+  }
+  if (id == "S1") return std::vector<Value>{cust()};
+  if (id == "S2" || id == "S3") return std::vector<Value>{item()};
+  if (id == "S4") return std::vector<Value>{addr()};
+  if (id == "S5") {
+    return std::vector<Value>{Value(rng_.Uniform(1, config_.num_countries()))};
+  }
+  if (id == "S6" || id == "S8") return std::vector<Value>{cart()};
+  if (id == "S7") return std::vector<Value>{cust()};
+  return Status::InvalidArgument("unknown statement id " + id);
+}
+
+}  // namespace synergy::tpcw

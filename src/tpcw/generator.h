@@ -1,0 +1,64 @@
+// Deterministic TPC-W data generator and workload parameter provider.
+//
+// Cardinalities follow the paper's setup (§IX-D1): NUM_ITEMS = 10*NUM_CUST
+// and Customer:Orders = 1:10; TPC-W's own derived counts otherwise
+// (authors = items/4, addresses = 2*customers, 92 countries). String fields
+// are shortened relative to the spec (e.g. i_desc) to keep the in-memory
+// store compact; EXPERIMENTS.md documents this substitution.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "exec/row_codec.h"
+
+namespace synergy::tpcw {
+
+struct ScaleConfig {
+  int64_t num_customers = 1000;
+  uint64_t seed = 20170904;  // CLUSTER'17
+
+  int64_t num_items() const { return num_customers * 10; }
+  int64_t num_authors() const { return std::max<int64_t>(1, num_items() / 4); }
+  int64_t num_addresses() const { return num_customers * 2; }
+  int64_t num_countries() const { return 92; }
+  int64_t num_orders() const { return num_customers * 10; }
+  int64_t num_carts() const { return std::max<int64_t>(1, num_customers / 10); }
+  int64_t num_orders_tmp() const {
+    return std::min<int64_t>(3333, num_orders());
+  }
+  /// Upper bound on Order_line ids (lines per order in [1,5]).
+  int64_t max_order_line_id() const { return num_orders() * 5; }
+};
+
+/// Sink receiving (relation, tuple) pairs in FK-topological order.
+using TupleSink =
+    std::function<Status(const std::string& relation, const exec::Tuple&)>;
+
+/// Streams the whole database through `sink`. Deterministic in `config`.
+Status GenerateDatabase(const ScaleConfig& config, const TupleSink& sink);
+
+/// Subjects used for i_subject (TPC-W's 24 subjects).
+const std::vector<std::string>& Subjects();
+
+/// Deterministic, valid parameters for a workload statement. `fresh_id`
+/// monotonically grows so repeated inserts never collide.
+class ParamProvider {
+ public:
+  explicit ParamProvider(const ScaleConfig& config, uint64_t seed = 7)
+      : config_(config), rng_(seed) {}
+
+  StatusOr<std::vector<Value>> ParamsFor(const std::string& stmt_id);
+
+ private:
+  int64_t NextFreshId() { return fresh_base_++; }
+
+  ScaleConfig config_;
+  Rng rng_;
+  int64_t fresh_base_ = 1000000000;  // above every generated id
+};
+
+}  // namespace synergy::tpcw

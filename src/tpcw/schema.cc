@@ -1,0 +1,182 @@
+#include "tpcw/schema.h"
+
+#include <cstdlib>
+
+namespace synergy::tpcw {
+namespace {
+
+using DT = DataType;
+
+void Must(Status s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "tpcw schema: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+sql::Catalog BuildCatalog() {
+  sql::Catalog cat;
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "Country",
+      .columns = {{"co_id", DT::kInt},
+                  {"co_name", DT::kString},
+                  {"co_exchange", DT::kDouble},
+                  {"co_currency", DT::kString}},
+      .primary_key = {"co_id"}}));
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "Address",
+      .columns = {{"addr_id", DT::kInt},
+                  {"addr_street1", DT::kString},
+                  {"addr_street2", DT::kString},
+                  {"addr_city", DT::kString},
+                  {"addr_state", DT::kString},
+                  {"addr_zip", DT::kString},
+                  {"addr_co_id", DT::kInt}},
+      .primary_key = {"addr_id"},
+      .foreign_keys = {{{"addr_co_id"}, "Country"}}}));
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "Author",
+      .columns = {{"a_id", DT::kInt},
+                  {"a_fname", DT::kString},
+                  {"a_lname", DT::kString},
+                  {"a_mname", DT::kString},
+                  {"a_dob", DT::kInt},
+                  {"a_bio", DT::kString}},
+      .primary_key = {"a_id"}}));
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "Customer",
+      .columns = {{"c_id", DT::kInt},
+                  {"c_uname", DT::kString},
+                  {"c_passwd", DT::kString},
+                  {"c_fname", DT::kString},
+                  {"c_lname", DT::kString},
+                  {"c_addr_id", DT::kInt},
+                  {"c_phone", DT::kString},
+                  {"c_email", DT::kString},
+                  {"c_since", DT::kInt},
+                  {"c_last_login", DT::kInt},
+                  {"c_login", DT::kInt},
+                  {"c_expiration", DT::kInt},
+                  {"c_discount", DT::kDouble},
+                  {"c_balance", DT::kDouble},
+                  {"c_ytd_pmt", DT::kDouble},
+                  {"c_birthdate", DT::kInt},
+                  {"c_data", DT::kString}},
+      .primary_key = {"c_id"},
+      .foreign_keys = {{{"c_addr_id"}, "Address"}}}));
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "Item",
+      .columns = {{"i_id", DT::kInt},
+                  {"i_title", DT::kString},
+                  {"i_a_id", DT::kInt},
+                  {"i_pub_date", DT::kInt},
+                  {"i_publisher", DT::kString},
+                  {"i_subject", DT::kString},
+                  {"i_desc", DT::kString},
+                  {"i_related1", DT::kInt},
+                  {"i_related2", DT::kInt},
+                  {"i_related3", DT::kInt},
+                  {"i_related4", DT::kInt},
+                  {"i_related5", DT::kInt},
+                  {"i_thumbnail", DT::kString},
+                  {"i_image", DT::kString},
+                  {"i_srp", DT::kDouble},
+                  {"i_cost", DT::kDouble},
+                  {"i_avail", DT::kInt},
+                  {"i_stock", DT::kInt},
+                  {"i_isbn", DT::kString},
+                  {"i_page", DT::kInt},
+                  {"i_backing", DT::kString},
+                  {"i_dimensions", DT::kString}},
+      .primary_key = {"i_id"},
+      .foreign_keys = {{{"i_a_id"}, "Author"}}}));
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "Orders",
+      .columns = {{"o_id", DT::kInt},
+                  {"o_c_id", DT::kInt},
+                  {"o_date", DT::kInt},
+                  {"o_sub_total", DT::kDouble},
+                  {"o_tax", DT::kDouble},
+                  {"o_total", DT::kDouble},
+                  {"o_ship_type", DT::kString},
+                  {"o_ship_date", DT::kInt},
+                  {"o_bill_addr_id", DT::kInt},
+                  {"o_ship_addr_id", DT::kInt},
+                  {"o_status", DT::kString}},
+      .primary_key = {"o_id"},
+      .foreign_keys = {{{"o_c_id"}, "Customer"},
+                       {{"o_bill_addr_id"}, "Address"},
+                       {{"o_ship_addr_id"}, "Address"}}}));
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "Order_line",
+      .columns = {{"ol_id", DT::kInt},
+                  {"ol_o_id", DT::kInt},
+                  {"ol_i_id", DT::kInt},
+                  {"ol_qty", DT::kInt},
+                  {"ol_discount", DT::kDouble},
+                  {"ol_comments", DT::kString}},
+      .primary_key = {"ol_id"},
+      .foreign_keys = {{{"ol_o_id"}, "Orders"}, {{"ol_i_id"}, "Item"}}}));
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "CC_Xacts",
+      .columns = {{"cx_o_id", DT::kInt},
+                  {"cx_type", DT::kString},
+                  {"cx_num", DT::kString},
+                  {"cx_name", DT::kString},
+                  {"cx_expiry", DT::kInt},
+                  {"cx_auth_id", DT::kString},
+                  {"cx_xact_amt", DT::kDouble},
+                  {"cx_xact_date", DT::kInt},
+                  {"cx_co_id", DT::kInt}},
+      .primary_key = {"cx_o_id"},
+      .foreign_keys = {{{"cx_o_id"}, "Orders"}, {{"cx_co_id"}, "Country"}}}));
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "Shopping_cart",
+      .columns = {{"sc_id", DT::kInt}, {"sc_time", DT::kInt}},
+      .primary_key = {"sc_id"}}));
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "Shopping_cart_line",
+      .columns = {{"scl_sc_id", DT::kInt},
+                  {"scl_i_id", DT::kInt},
+                  {"scl_qty", DT::kInt}},
+      .primary_key = {"scl_sc_id", "scl_i_id"},
+      .foreign_keys = {{{"scl_sc_id"}, "Shopping_cart"},
+                       {{"scl_i_id"}, "Item"}}}));
+  // Materialized recent-orders subset ("Orders tmp table" in the paper's
+  // Q10/Q11). No FK metadata: joins against it are never key/foreign-key
+  // joins, so Synergy never materializes them.
+  Must(cat.AddRelation(sql::RelationDef{
+      .name = "Orders_tmp",
+      .columns = {{"ot_o_id", DT::kInt}},
+      .primary_key = {"ot_o_id"}}));
+
+  // Base covered indexes (assumed present in the input schema, §VI-C).
+  auto index = [&](const std::string& name, const std::string& rel,
+                   std::vector<std::string> cols, bool unique,
+                   sql::IndexCardinality cardinality) {
+    sql::IndexDef ix;
+    ix.name = name;
+    ix.relation = rel;
+    ix.indexed_columns = std::move(cols);
+    for (const sql::Column& c : cat.FindRelation(rel)->columns) {
+      ix.covered_columns.push_back(c.name);
+    }
+    ix.unique = unique;
+    ix.cardinality = cardinality;
+    Must(cat.AddIndex(std::move(ix)));
+  };
+  using IC = sql::IndexCardinality;
+  index("ix_customer_uname", "Customer", {"c_uname"}, true, IC::kHigh);
+  index("ix_orders_c_id", "Orders", {"o_c_id"}, false, IC::kHigh);
+  index("ix_item_subject", "Item", {"i_subject"}, false, IC::kLow);
+  index("ix_item_a_id", "Item", {"i_a_id"}, false, IC::kHigh);
+  index("ix_ol_o_id", "Order_line", {"ol_o_id"}, false, IC::kHigh);
+  index("ix_ol_i_id", "Order_line", {"ol_i_id"}, false, IC::kHigh);
+  return cat;
+}
+
+std::vector<std::string> Roots() { return {"Author", "Customer", "Country"}; }
+
+}  // namespace synergy::tpcw

@@ -1,0 +1,20 @@
+// TPC-W schema (the paper's benchmark database, §IX-D).
+//
+// Matches the standard TPC-W relational schema with the paper's
+// modifications: Customer:Orders cardinality is 10 and NUM_ITEMS is derived
+// from NUM_CUST. "Orders_tmp" materializes the recent-orders subquery that
+// the paper denotes "Orders tmp table" for Q10/Q11 (the best-seller /
+// related-items servlets).
+#pragma once
+
+#include "sql/catalog.h"
+
+namespace synergy::tpcw {
+
+/// Base relations + base covered indexes (no views).
+sql::Catalog BuildCatalog();
+
+/// Roots set used by the paper: Q_TPC-W = {Author, Customer, Country}.
+std::vector<std::string> Roots();
+
+}  // namespace synergy::tpcw

@@ -1,0 +1,156 @@
+#include "tpcw/workload.h"
+
+#include <cstdlib>
+
+namespace synergy::tpcw {
+namespace {
+
+void Must(Status s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "tpcw workload: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+sql::Workload BuildWorkload() {
+  sql::Workload w;
+  // ---- Join queries (Fig. 15) ----
+  // Q1: order display — items of an order.
+  Must(w.Add("Q1",
+             "SELECT * FROM Item as i, Order_line as ol "
+             "WHERE ol.ol_i_id = i.i_id AND ol.ol_o_id = ?"));
+  // Q2: most recent order of a customer.
+  Must(w.Add("Q2",
+             "SELECT * FROM Customer as c, Orders as o "
+             "WHERE c.c_id = o.o_c_id AND c.c_uname = ? "
+             "ORDER BY o_date DESC, o_id DESC LIMIT 1"));
+  // Q3: customer with address and country.
+  Must(w.Add("Q3",
+             "SELECT * FROM Customer as c, Address as a, Country as co "
+             "WHERE c.c_addr_id = a.addr_id AND a.addr_co_id = co.co_id "
+             "AND c.c_uname = ?"));
+  // Q4: new products by subject, by title.
+  Must(w.Add("Q4",
+             "SELECT * FROM Author as a, Item as i "
+             "WHERE i.i_a_id = a.a_id AND i.i_subject = ? "
+             "ORDER BY i_title LIMIT 50"));
+  // Q5: new products by subject, newest first.
+  Must(w.Add("Q5",
+             "SELECT * FROM Author as a, Item as i "
+             "WHERE i.i_a_id = a.a_id AND i.i_subject = ? "
+             "ORDER BY i_pub_date DESC, i_title LIMIT 50"));
+  // Q6: product detail with author.
+  Must(w.Add("Q6",
+             "SELECT * FROM Author as a, Item as i "
+             "WHERE i.i_a_id = a.a_id AND i.i_id = ?"));
+  // Q7: order display — customer, both addresses and countries.
+  Must(w.Add("Q7",
+             "SELECT * FROM Orders as o, Customer as c, "
+             "Address as ship_addr, Address as bill_addr, "
+             "Country as ship_co, Country as bill_co "
+             "WHERE o.o_id = ? AND o.o_c_id = c.c_id "
+             "AND o.o_ship_addr_id = ship_addr.addr_id "
+             "AND o.o_bill_addr_id = bill_addr.addr_id "
+             "AND ship_addr.addr_co_id = ship_co.co_id "
+             "AND bill_addr.addr_co_id = bill_co.co_id"));
+  // Q8: shopping cart contents.
+  Must(w.Add("Q8",
+             "SELECT * FROM Item as i, Shopping_cart_line as scl "
+             "WHERE scl.scl_i_id = i.i_id AND scl.scl_sc_id = ?"));
+  // Q9: related item (Item self join).
+  Must(w.Add("Q9",
+             "SELECT j.i_id AS rel_id, j.i_thumbnail AS rel_thumb "
+             "FROM Item as i, Item as j "
+             "WHERE i.i_related1 = j.i_id AND i.i_id = ?"));
+  // Q10: best sellers over the recent-orders tmp table.
+  Must(w.Add("Q10",
+             "SELECT i.i_id, i.i_title, a.a_fname, a.a_lname, "
+             "SUM(ol.ol_qty) AS qty "
+             "FROM Author as a, Item as i, Order_line as ol, Orders_tmp as ot "
+             "WHERE a.a_id = i.i_a_id AND ol.ol_i_id = i.i_id "
+             "AND ol.ol_o_id = ot.ot_o_id AND i.i_subject = ? "
+             "GROUP BY i.i_id, i.i_title, a.a_fname, a.a_lname "
+             "ORDER BY qty DESC LIMIT 50"));
+  // Q11: admin related-items (Order_line self join over recent orders).
+  Must(w.Add("Q11",
+             "SELECT ol2.ol_i_id, SUM(ol2.ol_qty) AS qty "
+             "FROM Order_line as ol, Orders_tmp as ot, Order_line as ol2 "
+             "WHERE ol.ol_o_id = ot.ot_o_id AND ol2.ol_o_id = ot.ot_o_id "
+             "AND ol.ol_i_id = ? AND ol2.ol_i_id <> ? "
+             "GROUP BY ol2.ol_i_id ORDER BY qty DESC LIMIT 5"));
+
+  // ---- Write statements (Fig. 16) ----
+  Must(w.Add("W1",
+             "INSERT INTO Orders (o_id, o_c_id, o_date, o_sub_total, o_tax, "
+             "o_total, o_ship_type, o_ship_date, o_bill_addr_id, "
+             "o_ship_addr_id, o_status) "
+             "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"));
+  Must(w.Add("W2",
+             "INSERT INTO CC_Xacts (cx_o_id, cx_type, cx_num, cx_name, "
+             "cx_expiry, cx_auth_id, cx_xact_amt, cx_xact_date, cx_co_id) "
+             "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)"));
+  Must(w.Add("W3",
+             "INSERT INTO Order_line (ol_id, ol_o_id, ol_i_id, ol_qty, "
+             "ol_discount, ol_comments) VALUES (?, ?, ?, ?, ?, ?)"));
+  Must(w.Add("W4",
+             "INSERT INTO Customer (c_id, c_uname, c_passwd, c_fname, "
+             "c_lname, c_addr_id, c_phone, c_email, c_since, c_last_login, "
+             "c_login, c_expiration, c_discount, c_balance, c_ytd_pmt, "
+             "c_birthdate, c_data) "
+             "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"));
+  Must(w.Add("W5",
+             "INSERT INTO Address (addr_id, addr_street1, addr_street2, "
+             "addr_city, addr_state, addr_zip, addr_co_id) "
+             "VALUES (?, ?, ?, ?, ?, ?, ?)"));
+  Must(w.Add("W6",
+             "INSERT INTO Shopping_cart (sc_id, sc_time) VALUES (?, ?)"));
+  Must(w.Add("W7",
+             "INSERT INTO Shopping_cart_line (scl_sc_id, scl_i_id, scl_qty) "
+             "VALUES (?, ?, ?)"));
+  Must(w.Add("W8",
+             "DELETE FROM Shopping_cart_line "
+             "WHERE scl_sc_id = ? AND scl_i_id = ?"));
+  Must(w.Add("W9",
+             "UPDATE Item SET i_cost = ?, i_pub_date = ?, i_publisher = ? "
+             "WHERE i_id = ?"));
+  Must(w.Add("W10",
+             "UPDATE Item SET i_thumbnail = ?, i_image = ? WHERE i_id = ?"));
+  Must(w.Add("W11", "UPDATE Shopping_cart SET sc_time = ? WHERE sc_id = ?"));
+  Must(w.Add("W12",
+             "UPDATE Shopping_cart_line SET scl_qty = ? "
+             "WHERE scl_sc_id = ? AND scl_i_id = ?"));
+  Must(w.Add("W13",
+             "UPDATE Customer SET c_balance = ?, c_ytd_pmt = ?, "
+             "c_last_login = ? WHERE c_id = ?"));
+
+  // ---- Single-table reads (servlet statements without joins) ----
+  Must(w.Add("S1", "SELECT * FROM Customer WHERE c_id = ?"));
+  Must(w.Add("S2", "SELECT * FROM Item WHERE i_id = ?"));
+  Must(w.Add("S3",
+             "SELECT i_related1, i_related2, i_related3, i_related4, "
+             "i_related5 FROM Item WHERE i_id = ?"));
+  Must(w.Add("S4", "SELECT * FROM Address WHERE addr_id = ?"));
+  Must(w.Add("S5", "SELECT co_id, co_name FROM Country WHERE co_id = ?"));
+  Must(w.Add("S6",
+             "SELECT * FROM Shopping_cart_line WHERE scl_sc_id = ?"));
+  Must(w.Add("S7", "SELECT * FROM Orders WHERE o_c_id = ?"));
+  Must(w.Add("S8", "SELECT sc_time FROM Shopping_cart WHERE sc_id = ?"));
+  return w;
+}
+
+std::vector<std::string> JoinQueryIds() {
+  return {"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11"};
+}
+
+std::vector<std::string> WriteStatementIds() {
+  return {"W1", "W2", "W3", "W4", "W5", "W6", "W7",
+          "W8", "W9", "W10", "W11", "W12", "W13"};
+}
+
+std::vector<std::string> SingleTableReadIds() {
+  return {"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"};
+}
+
+}  // namespace synergy::tpcw

@@ -1,0 +1,21 @@
+// The TPC-W workload as the paper uses it (§IX-D1): the 11 join queries of
+// Fig. 15 (Q1-Q11), the 13 write statements of Fig. 16 (W1-W13), and the
+// single-table reads extracted from the servlets (S1-S8). The soundex
+// queries and the multi-row DELETE are excluded, exactly as in the paper.
+#pragma once
+
+#include "sql/workload.h"
+
+namespace synergy::tpcw {
+
+/// Full workload (joins + writes + single-table reads).
+sql::Workload BuildWorkload();
+
+/// Ids of the join queries (Fig. 15), in order Q1..Q11.
+std::vector<std::string> JoinQueryIds();
+/// Ids of the write statements (Fig. 16), in order W1..W13.
+std::vector<std::string> WriteStatementIds();
+/// Ids of the single-table read statements.
+std::vector<std::string> SingleTableReadIds();
+
+}  // namespace synergy::tpcw

@@ -1,0 +1,81 @@
+#include "txn/lock_manager.h"
+
+#include <thread>
+
+namespace synergy::txn {
+
+namespace {
+constexpr char kLockColumn[] = "l";
+constexpr char kFree[] = "0";
+constexpr char kHeld[] = "1";
+}  // namespace
+
+Status LockManager::CreateLockTable(const std::string& root_relation) {
+  return cluster_->CreateTable({.name = LockTableName(root_relation)});
+}
+
+Status LockManager::CreateLockEntry(hbase::Session& s,
+                                    const std::string& root_relation,
+                                    const std::string& root_key) {
+  // CheckAndPut(absent -> free): never clobbers an existing entry, in
+  // particular not the lock the inserting transaction itself holds.
+  SYNERGY_ASSIGN_OR_RETURN(
+      created, cluster_->CheckAndPut(s, LockTableName(root_relation), root_key,
+                                     kLockColumn, std::nullopt, kFree));
+  (void)created;  // already-present entries are fine (idempotent)
+  return Status::Ok();
+}
+
+StatusOr<bool> LockManager::TryAcquire(hbase::Session& s,
+                                       const std::string& root_relation,
+                                       const std::string& root_key) {
+  const std::string table = LockTableName(root_relation);
+  SYNERGY_ASSIGN_OR_RETURN(
+      won, cluster_->CheckAndPut(s, table, root_key, kLockColumn,
+                                 std::string(kFree), kHeld));
+  if (won) return true;
+  // The entry may not exist yet (root row being inserted right now).
+  return cluster_->CheckAndPut(s, table, root_key, kLockColumn, std::nullopt,
+                               kHeld);
+}
+
+Status LockManager::Acquire(hbase::Session& s,
+                            const std::string& root_relation,
+                            const std::string& root_key, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    SYNERGY_ASSIGN_OR_RETURN(won, TryAcquire(s, root_relation, root_key));
+    if (won) return Status::Ok();
+    // Virtual backoff before the next CheckAndPut; yield so the real owner
+    // thread can make progress in concurrent tests.
+    s.meter().Charge(cluster_->cost_model().lock_rpc_us);
+    std::this_thread::yield();
+  }
+  return Status::Aborted("lock acquisition timed out on " + root_relation);
+}
+
+Status LockManager::Release(hbase::Session& s,
+                            const std::string& root_relation,
+                            const std::string& root_key) {
+  SYNERGY_ASSIGN_OR_RETURN(
+      ok, cluster_->CheckAndPut(s, LockTableName(root_relation), root_key,
+                                kLockColumn, std::string(kHeld), kFree));
+  if (!ok) {
+    return Status::FailedPrecondition("releasing a lock that is not held");
+  }
+  return Status::Ok();
+}
+
+StatusOr<bool> LockManager::IsHeld(hbase::Session& s,
+                                   const std::string& root_relation,
+                                   const std::string& root_key) {
+  StatusOr<hbase::RowResult> row =
+      cluster_->Get(s, LockTableName(root_relation), root_key);
+  if (!row.ok()) {
+    if (row.status().code() == StatusCode::kNotFound) return false;
+    return row.status();
+  }
+  auto it = row->columns.find(kLockColumn);
+  return it != row->columns.end() && it->second == kHeld;
+}
+
+}  // namespace synergy::txn

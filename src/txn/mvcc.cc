@@ -1,0 +1,75 @@
+#include "txn/mvcc.h"
+
+#include <algorithm>
+
+namespace synergy::txn {
+
+StatusOr<MvccTxn> MvccManager::Start(hbase::Session& s) {
+  s.meter().Charge(cluster_->cost_model().mvcc_start_us);
+  std::lock_guard lock(mutex_);
+  MvccTxn txn;
+  txn.txid = cluster_->NextTimestamp();
+  txn.exclude.assign(in_flight_.begin(), in_flight_.end());
+  txn.exclude.insert(txn.exclude.end(), invalid_.begin(), invalid_.end());
+  in_flight_.insert(txn.txid);
+  return txn;
+}
+
+Status MvccManager::Commit(hbase::Session& s, MvccTxn& txn) {
+  const auto& model = cluster_->cost_model();
+  s.meter().Charge(model.mvcc_conflict_check_us + model.mvcc_commit_us);
+  std::lock_guard lock(mutex_);
+  if (!in_flight_.contains(txn.txid)) {
+    return Status::FailedPrecondition("transaction not in flight");
+  }
+  // Conflict check against transactions that committed after we started
+  // (their txid is unknown to our snapshot but their writes overlap ours).
+  std::set<std::string> ours(txn.write_set.begin(), txn.write_set.end());
+  for (const auto& [txid, info] : committed_) {
+    if (txid < txn.txid) continue;  // committed before we started
+    for (const std::string& key : info.write_set) {
+      if (ours.contains(key)) {
+        in_flight_.erase(txn.txid);
+        invalid_.push_back(txn.txid);
+        return Status::Aborted("write-write conflict on " + key);
+      }
+    }
+  }
+  in_flight_.erase(txn.txid);
+  committed_[txn.txid] =
+      Committed{++commit_seq_, std::move(txn.write_set)};
+  // Prune the committed map: entries older than every in-flight txn can no
+  // longer conflict with anyone.
+  const int64_t oldest =
+      in_flight_.empty() ? txn.txid : *in_flight_.begin();
+  for (auto it = committed_.begin(); it != committed_.end();) {
+    if (it->first < oldest) {
+      it = committed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+Status MvccManager::Abort(hbase::Session& s, MvccTxn& txn) {
+  s.meter().Charge(cluster_->cost_model().mvcc_commit_us);
+  std::lock_guard lock(mutex_);
+  if (in_flight_.erase(txn.txid) == 0) {
+    return Status::FailedPrecondition("transaction not in flight");
+  }
+  if (!txn.write_set.empty()) invalid_.push_back(txn.txid);
+  return Status::Ok();
+}
+
+size_t MvccManager::InFlightCount() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_.size();
+}
+
+size_t MvccManager::InvalidCount() const {
+  std::lock_guard lock(mutex_);
+  return invalid_.size();
+}
+
+}  // namespace synergy::txn

@@ -1,0 +1,83 @@
+#include "txn/txn_layer.h"
+
+namespace synergy::txn {
+
+StatusOr<int64_t> SlaveNode::ProcessWrite(hbase::Session& s,
+                                          const std::string& payload,
+                                          const std::optional<LockSpec>& lock,
+                                          const WriteBody& body) {
+  if (failed_.load()) return Status::Unavailable("slave is down");
+  s.meter().Charge(cluster_->cost_model().txn_layer_dispatch_us);
+  const int64_t txn_id = wal_->Append(s, payload);
+
+  LockGuard guard;
+  if (lock.has_value()) {
+    SYNERGY_RETURN_IF_ERROR(
+        locks_->Acquire(s, lock->root_relation, lock->root_key));
+    guard = LockGuard(locks_, &s, lock->root_relation, lock->root_key);
+  }
+
+  if (crash_before_execute_.exchange(false)) {
+    failed_.store(true);
+    // The slave dies holding the lock: readers keep read-committed semantics
+    // because writers cannot sneak in before recovery (§VIII-C).
+    guard.Leak();
+    return Status::Unavailable("slave crashed mid-transaction");
+  }
+
+  SYNERGY_RETURN_IF_ERROR(body(s));
+  SYNERGY_RETURN_IF_ERROR(guard.ReleaseNow());
+  wal_->MarkCommitted(txn_id);
+  return txn_id;
+}
+
+TxnLayer::TxnLayer(hbase::Cluster* cluster, LockManager* locks, int num_slaves)
+    : cluster_(cluster), locks_(locks) {
+  for (int i = 0; i < num_slaves; ++i) {
+    slaves_.push_back(
+        std::make_unique<SlaveNode>(cluster_, locks_, next_slave_id_++));
+  }
+}
+
+StatusOr<int64_t> TxnLayer::SubmitWrite(hbase::Session& s,
+                                        const std::string& payload,
+                                        const std::optional<LockSpec>& lock,
+                                        const WriteBody& body) {
+  for (size_t attempt = 0; attempt < slaves_.size(); ++attempt) {
+    SlaveNode* slave =
+        slaves_[next_slave_.fetch_add(1) % slaves_.size()].get();
+    if (slave->failed()) continue;
+    return slave->ProcessWrite(s, payload, lock, body);
+  }
+  return Status::Unavailable("no live slaves");
+}
+
+Status TxnLayer::DetectAndRecover(hbase::Session& s, const ReplayFn& replay,
+                                  const LockOfPayloadFn& lock_of) {
+  for (auto& slave : slaves_) {
+    if (!slave->failed()) continue;
+    // Start a replacement slave and replay the failed slave's uncommitted
+    // WAL suffix. Locks held by the dead slave are released after replay.
+    auto replacement =
+        std::make_unique<SlaveNode>(cluster_, locks_, next_slave_id_++);
+    for (const WalEntry& entry : slave->wal()->UncommittedEntries()) {
+      SYNERGY_RETURN_IF_ERROR(replay(s, entry.payload));
+      if (lock_of) {
+        std::optional<LockSpec> lock = lock_of(entry.payload);
+        if (lock.has_value()) {
+          SYNERGY_ASSIGN_OR_RETURN(
+              held, locks_->IsHeld(s, lock->root_relation, lock->root_key));
+          if (held) {
+            SYNERGY_RETURN_IF_ERROR(
+                locks_->Release(s, lock->root_relation, lock->root_key));
+          }
+        }
+      }
+      slave->wal()->MarkCommitted(entry.txn_id);
+    }
+    slave = std::move(replacement);
+  }
+  return Status::Ok();
+}
+
+}  // namespace synergy::txn

@@ -1,0 +1,98 @@
+// The Synergy transaction layer (§VIII): master + slave nodes, WAL-backed
+// write transaction procedures, hierarchical locking, failover.
+//
+// A client submits a write request to a slave. The slave assigns a
+// transaction id, appends the payload to its WAL, acquires the single root
+// lock (if the write touches a rooted tree), runs the transaction body
+// (base table + views + indexes updates, supplied by the caller), releases
+// the lock and acknowledges. The master detects slave failures and starts a
+// replacement slave that replays the failed slave's uncommitted WAL suffix;
+// the root lock stays held across the failure, preserving read-committed
+// semantics (§VIII-C).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hbase/cluster.h"
+#include "txn/lock_manager.h"
+#include "txn/wal.h"
+
+namespace synergy::txn {
+
+struct LockSpec {
+  std::string root_relation;
+  std::string root_key;  // encoded row key in the root's lock table
+};
+
+/// The transaction body: performs the actual store updates. Invoked while
+/// the root lock is held.
+using WriteBody = std::function<Status(hbase::Session&)>;
+
+/// Rebuilds and executes the body for a WAL payload during replay.
+using ReplayFn = std::function<Status(hbase::Session&, const std::string&)>;
+
+class SlaveNode {
+ public:
+  SlaveNode(hbase::Cluster* cluster, LockManager* locks, int id)
+      : cluster_(cluster), locks_(locks), id_(id),
+        wal_(std::make_shared<Wal>(&cluster->cost_model())) {}
+
+  int id() const { return id_; }
+  bool failed() const { return failed_.load(); }
+  std::shared_ptr<Wal> wal() const { return wal_; }
+
+  /// Arms a simulated crash: the next write fails after WAL append +
+  /// lock acquisition but before execution (lock intentionally leaked).
+  void InjectCrashBeforeExecute() { crash_before_execute_.store(true); }
+
+  StatusOr<int64_t> ProcessWrite(hbase::Session& s, const std::string& payload,
+                                 const std::optional<LockSpec>& lock,
+                                 const WriteBody& body);
+
+ private:
+  hbase::Cluster* cluster_;
+  LockManager* locks_;
+  int id_;
+  std::shared_ptr<Wal> wal_;
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> crash_before_execute_{false};
+};
+
+/// Master: owns the slave pool, routes writes, performs failover.
+class TxnLayer {
+ public:
+  TxnLayer(hbase::Cluster* cluster, LockManager* locks, int num_slaves = 1);
+
+  LockManager* lock_manager() const { return locks_; }
+
+  /// Client entry point: forwards to a live slave (round robin).
+  StatusOr<int64_t> SubmitWrite(hbase::Session& s, const std::string& payload,
+                                const std::optional<LockSpec>& lock,
+                                const WriteBody& body);
+
+  SlaveNode* slave(int i) { return slaves_[static_cast<size_t>(i)].get(); }
+  int num_slaves() const { return static_cast<int>(slaves_.size()); }
+
+  /// Master failure detection + recovery: replaces failed slaves with fresh
+  /// ones that replay the uncommitted WAL suffix via `replay`, releasing any
+  /// root locks named by `lock_of` for replayed payloads.
+  using LockOfPayloadFn =
+      std::function<std::optional<LockSpec>(const std::string& payload)>;
+  Status DetectAndRecover(hbase::Session& s, const ReplayFn& replay,
+                          const LockOfPayloadFn& lock_of);
+
+ private:
+  hbase::Cluster* cluster_;
+  LockManager* locks_;
+  std::vector<std::unique_ptr<SlaveNode>> slaves_;
+  std::atomic<size_t> next_slave_{0};
+  int next_slave_id_ = 0;
+};
+
+}  // namespace synergy::txn

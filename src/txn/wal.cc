@@ -1,0 +1,42 @@
+#include "txn/wal.h"
+
+namespace synergy::txn {
+
+int64_t Wal::Append(hbase::Session& s, const std::string& payload) {
+  s.meter().Charge(model_->wal_append_us);
+  std::lock_guard lock(mutex_);
+  const int64_t id = next_id_++;
+  entries_.push_back(WalEntry{id, payload, /*committed=*/false});
+  return id;
+}
+
+void Wal::MarkCommitted(int64_t txn_id) {
+  std::lock_guard lock(mutex_);
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->txn_id == txn_id) {
+      it->committed = true;
+      return;
+    }
+  }
+}
+
+std::vector<WalEntry> Wal::UncommittedEntries() const {
+  std::lock_guard lock(mutex_);
+  std::vector<WalEntry> out;
+  for (const WalEntry& e : entries_) {
+    if (!e.committed) out.push_back(e);
+  }
+  return out;
+}
+
+size_t Wal::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<WalEntry> Wal::AllEntries() const {
+  std::lock_guard lock(mutex_);
+  return entries_;
+}
+
+}  // namespace synergy::txn

@@ -1,0 +1,48 @@
+// Write-ahead log for the Synergy transaction layer (§VIII).
+//
+// Each slave appends the statement payload with its transaction id before
+// executing, and marks the entry committed afterwards. On slave failure the
+// master replays the uncommitted suffix on a fresh slave. The log is
+// in-memory (the simulated HDFS) with a per-append sync cost; thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hbase/cluster.h"
+
+namespace synergy::txn {
+
+struct WalEntry {
+  int64_t txn_id = 0;
+  std::string payload;  // statement text + encoded params
+  bool committed = false;
+};
+
+class Wal {
+ public:
+  explicit Wal(const sim::CostModel* model) : model_(model) {}
+
+  /// Appends an entry (charging the WAL sync cost) and returns its id.
+  int64_t Append(hbase::Session& s, const std::string& payload);
+
+  /// Marks a transaction committed. Unknown ids are ignored (idempotent).
+  void MarkCommitted(int64_t txn_id);
+
+  /// Uncommitted entries in append order (what a failover must replay).
+  std::vector<WalEntry> UncommittedEntries() const;
+
+  size_t size() const;
+  std::vector<WalEntry> AllEntries() const;
+
+ private:
+  const sim::CostModel* model_;
+  mutable std::mutex mutex_;
+  std::vector<WalEntry> entries_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace synergy::txn

@@ -1,0 +1,147 @@
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace synergy::codec {
+namespace {
+
+std::string Enc(const Value& v) {
+  std::string out;
+  EncodeValue(v, &out);
+  return out;
+}
+
+TEST(CodecTest, IntRoundTrip) {
+  for (const int64_t x : {int64_t{0}, int64_t{1}, int64_t{-1},
+                          std::numeric_limits<int64_t>::min(),
+                          std::numeric_limits<int64_t>::max()}) {
+    std::string enc = Enc(Value(x));
+    std::string_view view(enc);
+    auto dec = DecodeValue(&view, DataType::kInt);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(dec->as_int(), x);
+    EXPECT_TRUE(view.empty());
+  }
+}
+
+TEST(CodecTest, DoubleRoundTrip) {
+  for (const double x : {0.0, 1.5, -1.5, 1e300, -1e300, 0.001}) {
+    std::string enc = Enc(Value(x));
+    std::string_view view(enc);
+    auto dec = DecodeValue(&view, DataType::kDouble);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_DOUBLE_EQ(dec->as_double(), x);
+  }
+}
+
+TEST(CodecTest, StringRoundTripWithEmbeddedNul) {
+  const std::string s("a\0b", 3);
+  std::string enc = Enc(Value(s));
+  std::string_view view(enc);
+  auto dec = DecodeValue(&view, DataType::kString);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec->as_string(), s);
+}
+
+TEST(CodecTest, NullRoundTrip) {
+  std::string enc = Enc(Value());
+  std::string_view view(enc);
+  auto dec = DecodeValue(&view, DataType::kInt);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(dec->is_null());
+}
+
+TEST(CodecTest, CompositeKeyRoundTrip) {
+  std::vector<Value> vals = {Value(42), Value("user"), Value(2.5), Value()};
+  std::string key = EncodeKey(vals);
+  auto dec = DecodeKey(key, {DataType::kInt, DataType::kString,
+                             DataType::kDouble, DataType::kString});
+  ASSERT_TRUE(dec.ok());
+  ASSERT_EQ(dec->size(), 4u);
+  EXPECT_EQ((*dec)[0].as_int(), 42);
+  EXPECT_EQ((*dec)[1].as_string(), "user");
+  EXPECT_DOUBLE_EQ((*dec)[2].as_double(), 2.5);
+  EXPECT_TRUE((*dec)[3].is_null());
+}
+
+TEST(CodecTest, DecodeRejectsTrailingGarbage) {
+  std::string key = EncodeKey({Value(1)}) + "x";
+  auto dec = DecodeKey(key, {DataType::kInt});
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(CodecTest, PrefixSuccessor) {
+  EXPECT_EQ(PrefixSuccessor("abc"), "abd");
+  EXPECT_EQ(PrefixSuccessor(std::string("a\xff", 2)), "b");
+  EXPECT_EQ(PrefixSuccessor(std::string("\xff", 1)), "");
+}
+
+// Property: byte-order of encoded keys equals value order.
+class CodecOrderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecOrderPropertyTest, IntOrderPreserved) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.Next());
+    const int64_t b = static_cast<int64_t>(rng.Next());
+    const std::string ea = Enc(Value(a)), eb = Enc(Value(b));
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+  }
+}
+
+TEST_P(CodecOrderPropertyTest, DoubleOrderPreserved) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.UniformReal(-1e6, 1e6);
+    const double b = rng.UniformReal(-1e6, 1e6);
+    const std::string ea = Enc(Value(a)), eb = Enc(Value(b));
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+  }
+}
+
+TEST_P(CodecOrderPropertyTest, StringOrderPreserved) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string a = rng.AlphaString(rng.Next() % 12);
+    std::string b = rng.AlphaString(rng.Next() % 12);
+    const std::string ea = Enc(Value(a)), eb = Enc(Value(b));
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+  }
+}
+
+TEST_P(CodecOrderPropertyTest, CompositeOrderPreserved) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::vector<Value>, std::string>> keys;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Value> tuple = {Value(rng.Uniform(0, 50)),
+                                Value(rng.AlphaString(3)),
+                                Value(rng.Uniform(-10, 10))};
+    keys.emplace_back(tuple, EncodeKey(tuple));
+  }
+  auto tuple_less = [](const std::vector<Value>& a,
+                       const std::vector<Value>& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      const int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = 0; j < keys.size(); ++j) {
+      EXPECT_EQ(tuple_less(keys[i].first, keys[j].first),
+                keys[i].second < keys[j].second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecOrderPropertyTest,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+}  // namespace
+}  // namespace synergy::codec

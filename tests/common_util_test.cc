@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace synergy {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing row");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::Aborted("conflict"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kAborted);
+}
+
+TEST(StrUtilTest, SplitBasic) {
+  auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrUtilTest, SplitEmptyFields) {
+  auto parts = SplitString(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(JoinStrings({}, "-"), "");
+}
+
+TEST(StrUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StrUtilTest, Strip) {
+  EXPECT_EQ(StripWhitespace("  hi \t"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.Uniform(3, 9);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 9);
+  }
+}
+
+TEST(StatsTest, MeanAndStderr) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-9);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_GT(s.stderr_mean(), 0.0);
+}
+
+TEST(StatsTest, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace synergy

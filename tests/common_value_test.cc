@@ -1,0 +1,83 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace synergy {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v(int64_t{42});
+  EXPECT_EQ(v.type(), DataType::kInt);
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, IntFromPlainInt) {
+  Value v(7);
+  EXPECT_EQ(v.type(), DataType::kInt);
+  EXPECT_EQ(v.as_int(), 7);
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v(3.5);
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.as_double(), 3.5);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v("hello");
+  EXPECT_EQ(v.type(), DataType::kString);
+  EXPECT_EQ(v.as_string(), "hello");
+}
+
+TEST(ValueTest, NullSortsLowest) {
+  EXPECT_LT(Value(), Value(int64_t{-100}));
+  EXPECT_LT(Value(), Value("a"));
+  EXPECT_EQ(Value().Compare(Value()), 0);
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_GT(Value(5), Value(-5));
+  EXPECT_EQ(Value(3), Value(3));
+}
+
+TEST(ValueTest, MixedNumericComparison) {
+  EXPECT_LT(Value(1), Value(1.5));
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_GT(Value(2.5), Value(2));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_LT(Value("ab"), Value("abc"));
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value(4).numeric(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(4.25).numeric(), 4.25);
+}
+
+TEST(ValueTest, ByteSizes) {
+  EXPECT_EQ(Value().ByteSize(), 1u);
+  EXPECT_EQ(Value(1).ByteSize(), 8u);
+  EXPECT_EQ(Value(1.0).ByteSize(), 8u);
+  EXPECT_EQ(Value("abcd").ByteSize(), 8u);  // 4 chars + 4 overhead
+}
+
+TEST(ValueTest, MixedTypeTotalOrderIsStable) {
+  // Number < string by type tag, consistently in both directions.
+  EXPECT_LT(Value(5), Value("5"));
+  EXPECT_GT(Value("5"), Value(5));
+}
+
+}  // namespace
+}  // namespace synergy

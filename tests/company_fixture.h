@@ -1,0 +1,94 @@
+// The paper's running example: the Company schema (Figure 2) with roots
+// Q = {Address, Department} and the synthetic workload W1-W3 (§V-B2).
+#pragma once
+
+#include "sql/catalog.h"
+#include "sql/workload.h"
+
+namespace synergy::testing {
+
+inline sql::Catalog CompanyCatalog() {
+  using sql::Catalog;
+  using sql::RelationDef;
+  using DT = synergy::DataType;
+  Catalog cat;
+  auto must = [](Status s) {
+    if (!s.ok()) std::abort();
+  };
+  must(cat.AddRelation(RelationDef{
+      .name = "Address",
+      .columns = {{"AID", DT::kInt},
+                  {"Street", DT::kString},
+                  {"City", DT::kString},
+                  {"Zip", DT::kString}},
+      .primary_key = {"AID"}}));
+  must(cat.AddRelation(RelationDef{
+      .name = "Department",
+      .columns = {{"DNo", DT::kInt}, {"DName", DT::kString}},
+      .primary_key = {"DNo"}}));
+  must(cat.AddRelation(RelationDef{
+      .name = "Department_Location",
+      .columns = {{"DL_DNo", DT::kInt}, {"DLocation", DT::kString}},
+      .primary_key = {"DL_DNo", "DLocation"},
+      .foreign_keys = {{{"DL_DNo"}, "Department"}}}));
+  must(cat.AddRelation(RelationDef{
+      .name = "Employee",
+      .columns = {{"EID", DT::kInt},
+                  {"EName", DT::kString},
+                  {"EHome_AID", DT::kInt},
+                  {"EOffice_AID", DT::kInt},
+                  {"E_DNo", DT::kInt}},
+      .primary_key = {"EID"},
+      .foreign_keys = {{{"EHome_AID"}, "Address"},
+                       {{"EOffice_AID"}, "Address"},
+                       {{"E_DNo"}, "Department"}}}));
+  must(cat.AddRelation(RelationDef{
+      .name = "Project",
+      .columns = {{"PNo", DT::kInt},
+                  {"PName", DT::kString},
+                  {"P_DNo", DT::kInt}},
+      .primary_key = {"PNo"},
+      .foreign_keys = {{{"P_DNo"}, "Department"}}}));
+  must(cat.AddRelation(RelationDef{
+      .name = "Works_On",
+      .columns = {{"WO_EID", DT::kInt},
+                  {"WO_PNo", DT::kInt},
+                  {"Hours", DT::kInt}},
+      .primary_key = {"WO_EID", "WO_PNo"},
+      .foreign_keys = {{{"WO_EID"}, "Employee"}, {{"WO_PNo"}, "Project"}}}));
+  must(cat.AddRelation(RelationDef{
+      .name = "Dependent",
+      .columns = {{"DP_EID", DT::kInt},
+                  {"DPName", DT::kString},
+                  {"DPHome_AID", DT::kInt}},
+      .primary_key = {"DP_EID", "DPName"},
+      .foreign_keys = {{{"DP_EID"}, "Employee"},
+                       {{"DPHome_AID"}, "Address"}}}));
+  return cat;
+}
+
+inline sql::Workload CompanyWorkload() {
+  sql::Workload w;
+  auto must = [](Status s) {
+    if (!s.ok()) std::abort();
+  };
+  // W1: address details of an employee.
+  must(w.Add("W1",
+             "SELECT * FROM Employee as e, Address as a "
+             "WHERE a.AID = e.EHome_AID and e.EID = ?"));
+  // W2: all employees and their hours in a department.
+  must(w.Add("W2",
+             "SELECT * FROM Department as d, Employee as e, Works_On as wo "
+             "WHERE d.DNo = e.E_DNo and e.EID = wo.WO_EID and d.DNo = ?"));
+  // W3: employees who work a certain number of hours.
+  must(w.Add("W3",
+             "SELECT * FROM Employee as e, Works_On as wo "
+             "WHERE e.EID = wo.WO_EID and wo.Hours = ?"));
+  return w;
+}
+
+inline std::vector<std::string> CompanyRoots() {
+  return {"Address", "Department"};
+}
+
+}  // namespace synergy::testing

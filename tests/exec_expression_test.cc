@@ -1,0 +1,122 @@
+#include "exec/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace synergy::exec {
+namespace {
+
+TEST(RowSchemaTest, QualifiedAndUnqualifiedLookup) {
+  auto schema = RowSchema::Make({"c.c_id", "c.c_name", "o.o_id"});
+  EXPECT_EQ(schema->FindByName("c.c_id"), 0);
+  EXPECT_EQ(schema->FindByName("c_name"), 1);
+  EXPECT_EQ(schema->FindByName("o_id"), 2);
+  EXPECT_EQ(schema->FindByName("nope"), -1);
+}
+
+TEST(RowSchemaTest, AmbiguousUnqualifiedNameIsRejected) {
+  auto schema = RowSchema::Make({"a.x", "b.x"});
+  EXPECT_EQ(schema->FindByName("x"), -1);
+  EXPECT_EQ(schema->FindByName("a.x"), 0);
+  EXPECT_EQ(schema->FindByName("b.x"), 1);
+}
+
+TEST(RowSchemaTest, ConcatPreservesSlots) {
+  auto left = RowSchema::Make({"a.x"});
+  auto right = RowSchema::Make({"b.y"});
+  auto both = RowSchema::Concat(*left, *right);
+  EXPECT_EQ(both->size(), 2u);
+  EXPECT_EQ(both->FindByName("a.x"), 0);
+  EXPECT_EQ(both->FindByName("b.y"), 1);
+}
+
+TEST(RowSchemaTest, FindWithColumnRef) {
+  auto schema = RowSchema::Make({"c.c_id"});
+  EXPECT_EQ(schema->Find(sql::ColumnRef{"c", "c_id"}), 0);
+  EXPECT_EQ(schema->Find(sql::ColumnRef{"", "c_id"}), 0);
+  EXPECT_EQ(schema->Find(sql::ColumnRef{"z", "c_id"}), -1);
+}
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  ExecRow Row() {
+    return ExecRow{RowSchema::Make({"t.a", "t.b", "t.s"}),
+                   {Value(5), Value(), Value("hi")}};
+  }
+};
+
+TEST_F(ExpressionTest, ResolveColumnOperand) {
+  auto v = ResolveOperand(sql::Operand::Col({"t", "a"}), Row(), {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value(5));
+}
+
+TEST_F(ExpressionTest, ResolveLiteralAndParam) {
+  std::vector<Value> params = {Value("p0")};
+  auto lit = ResolveOperand(sql::Operand::Lit(Value(9)), Row(), params);
+  ASSERT_TRUE(lit.ok());
+  EXPECT_EQ(*lit, Value(9));
+  auto par = ResolveOperand(sql::Operand::Param(0), Row(), params);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(*par, Value("p0"));
+}
+
+TEST_F(ExpressionTest, ParamOutOfRangeFails) {
+  EXPECT_FALSE(ResolveOperand(sql::Operand::Param(3), Row(), {}).ok());
+}
+
+TEST_F(ExpressionTest, UnknownColumnFails) {
+  EXPECT_FALSE(ResolveOperand(sql::Operand::Col({"t", "zz"}), Row(), {}).ok());
+}
+
+TEST_F(ExpressionTest, CompareOperators) {
+  EXPECT_TRUE(CompareValues(sql::CompareOp::kEq, Value(1), Value(1)));
+  EXPECT_TRUE(CompareValues(sql::CompareOp::kNe, Value(1), Value(2)));
+  EXPECT_TRUE(CompareValues(sql::CompareOp::kLt, Value(1), Value(2)));
+  EXPECT_TRUE(CompareValues(sql::CompareOp::kLe, Value(2), Value(2)));
+  EXPECT_TRUE(CompareValues(sql::CompareOp::kGt, Value(3), Value(2)));
+  EXPECT_TRUE(CompareValues(sql::CompareOp::kGe, Value(2), Value(2)));
+}
+
+TEST_F(ExpressionTest, NullComparesFalse) {
+  // SQL three-valued logic collapses to false for our conjunctions.
+  EXPECT_FALSE(CompareValues(sql::CompareOp::kEq, Value(), Value()));
+  EXPECT_FALSE(CompareValues(sql::CompareOp::kNe, Value(), Value(1)));
+}
+
+TEST_F(ExpressionTest, EvalPredicateAgainstRow) {
+  sql::Predicate p;
+  p.lhs = sql::Operand::Col({"t", "a"});
+  p.op = sql::CompareOp::kGt;
+  p.rhs = sql::Operand::Lit(Value(3));
+  auto r = EvalPredicate(p, Row(), {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(ExpressionTest, EvalAllShortCircuits) {
+  sql::Predicate yes;
+  yes.lhs = sql::Operand::Lit(Value(1));
+  yes.rhs = sql::Operand::Lit(Value(1));
+  sql::Predicate no;
+  no.lhs = sql::Operand::Lit(Value(1));
+  no.rhs = sql::Operand::Lit(Value(2));
+  auto row = Row();
+  auto both = EvalAll({&yes, &no}, row, {});
+  ASSERT_TRUE(both.ok());
+  EXPECT_FALSE(*both);
+  auto one = EvalAll({&yes}, row, {});
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(*one);
+}
+
+TEST_F(ExpressionTest, NullColumnMakesPredicateFalse) {
+  sql::Predicate p;
+  p.lhs = sql::Operand::Col({"t", "b"});  // NULL slot
+  p.rhs = sql::Operand::Lit(Value(1));
+  auto r = EvalPredicate(p, Row(), {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+}  // namespace
+}  // namespace synergy::exec

@@ -1,0 +1,100 @@
+#include "exec/row_codec.h"
+
+#include <gtest/gtest.h>
+
+namespace synergy::exec {
+namespace {
+
+sql::RelationDef Rel() {
+  return sql::RelationDef{
+      .name = "T",
+      .columns = {{"id", DataType::kInt},
+                  {"name", DataType::kString},
+                  {"score", DataType::kDouble}},
+      .primary_key = {"id"}};
+}
+
+TEST(RowCodecTest, PkKeyRoundTrip) {
+  auto rel = Rel();
+  Tuple t{{"id", Value(7)}, {"name", Value("x")}};
+  auto key = EncodePkKey(rel, t);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, EncodePkKeyFromValues({Value(7)}));
+}
+
+TEST(RowCodecTest, MissingPkFails) {
+  auto rel = Rel();
+  Tuple t{{"name", Value("x")}};
+  EXPECT_FALSE(EncodePkKey(rel, t).ok());
+}
+
+TEST(RowCodecTest, RowValueRoundTrip) {
+  auto rel = Rel();
+  Tuple t{{"id", Value(1)}, {"name", Value("bob")}, {"score", Value(2.5)}};
+  std::string bytes = EncodeRowValue(rel, t);
+  auto decoded = DecodeRowValue(rel.columns, bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->at("id"), Value(1));
+  EXPECT_EQ(decoded->at("name"), Value("bob"));
+  EXPECT_EQ(decoded->at("score"), Value(2.5));
+}
+
+TEST(RowCodecTest, MissingColumnsDecodeAsAbsent) {
+  auto rel = Rel();
+  Tuple t{{"id", Value(1)}};
+  auto decoded = DecodeRowValue(rel.columns, EncodeRowValue(rel, t));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 1u);
+  EXPECT_FALSE(decoded->contains("name"));
+}
+
+TEST(RowCodecTest, IndexKeyIncludesPkSuffix) {
+  auto rel = Rel();
+  sql::IndexDef ix{.name = "ix_name",
+                   .relation = "T",
+                   .indexed_columns = {"name"},
+                   .covered_columns = {"name", "id"}};
+  Tuple a{{"id", Value(1)}, {"name", Value("bob")}};
+  Tuple b{{"id", Value(2)}, {"name", Value("bob")}};
+  auto ka = EncodeIndexKey(ix, rel, a);
+  auto kb = EncodeIndexKey(ix, rel, b);
+  ASSERT_TRUE(ka.ok());
+  ASSERT_TRUE(kb.ok());
+  EXPECT_NE(*ka, *kb);  // same indexed value, different PK
+  EXPECT_LT(*ka, *kb);
+}
+
+TEST(RowCodecTest, IndexPrefixRangeCoversAllPks) {
+  auto rel = Rel();
+  sql::IndexDef ix{.name = "ix_name",
+                   .relation = "T",
+                   .indexed_columns = {"name"},
+                   .covered_columns = {"name", "id"}};
+  auto [start, stop] = IndexPrefixRange({Value("bob")});
+  for (int id : {1, 50, 999}) {
+    Tuple t{{"id", Value(id)}, {"name", Value("bob")}};
+    auto key = EncodeIndexKey(ix, rel, t);
+    ASSERT_TRUE(key.ok());
+    EXPECT_GE(*key, start);
+    EXPECT_LT(*key, stop);
+  }
+  Tuple other{{"id", Value(1)}, {"name", Value("carol")}};
+  auto key = EncodeIndexKey(ix, rel, other);
+  ASSERT_TRUE(key.ok());
+  EXPECT_GE(*key, stop);
+}
+
+TEST(RowCodecTest, ProjectedValueUsesGivenOrder) {
+  auto rel = Rel();
+  Tuple t{{"id", Value(3)}, {"name", Value("x")}, {"score", Value(1.0)}};
+  std::vector<std::string> cols = {"score", "id"};
+  std::string bytes = EncodeProjectedValue(cols, rel, t);
+  auto decoded = DecodeRowValue(ProjectColumns(rel, cols), bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->at("score"), Value(1.0));
+  EXPECT_EQ(decoded->at("id"), Value(3));
+  EXPECT_FALSE(decoded->contains("name"));
+}
+
+}  // namespace
+}  // namespace synergy::exec

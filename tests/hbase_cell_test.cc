@@ -1,0 +1,82 @@
+#include "hbase/cell.h"
+
+#include <gtest/gtest.h>
+
+namespace synergy::hbase {
+namespace {
+
+TEST(CellTest, LatestReturnsNewestVersion) {
+  Cell c;
+  c.AddVersion({1, "old", false});
+  c.AddVersion({5, "new", false});
+  c.AddVersion({3, "mid", false});
+  ASSERT_TRUE(c.Latest().has_value());
+  EXPECT_EQ(*c.Latest(), "new");
+}
+
+TEST(CellTest, SameTimestampOverwrites) {
+  Cell c;
+  c.AddVersion({2, "a", false});
+  c.AddVersion({2, "b", false});
+  EXPECT_EQ(c.versions().size(), 1u);
+  EXPECT_EQ(*c.Latest(), "b");
+}
+
+TEST(CellTest, TombstoneHidesValue) {
+  Cell c;
+  c.AddVersion({1, "v", false});
+  c.AddVersion({2, "", true});
+  EXPECT_FALSE(c.Latest().has_value());
+}
+
+TEST(CellTest, LatestVisibleRespectsReadTimestamp) {
+  Cell c;
+  c.AddVersion({10, "ten", false});
+  c.AddVersion({20, "twenty", false});
+  EXPECT_EQ(*c.LatestVisible(15, nullptr), "ten");
+  EXPECT_EQ(*c.LatestVisible(25, nullptr), "twenty");
+  EXPECT_FALSE(c.LatestVisible(5, nullptr).has_value());
+}
+
+TEST(CellTest, LatestVisibleSkipsExcludedTransactions) {
+  Cell c;
+  c.AddVersion({10, "committed", false});
+  c.AddVersion({20, "in-flight", false});
+  std::vector<int64_t> exclude = {20};
+  EXPECT_EQ(*c.LatestVisible(INT64_MAX, &exclude), "committed");
+}
+
+TEST(CellTest, TombstoneVisibleAtTimestampHidesOlder) {
+  Cell c;
+  c.AddVersion({10, "v", false});
+  c.AddVersion({20, "", true});
+  EXPECT_FALSE(c.LatestVisible(30, nullptr).has_value());
+  EXPECT_EQ(*c.LatestVisible(15, nullptr), "v");
+}
+
+TEST(CellTest, CompactDropsTombstonesAndOldVersions) {
+  Cell c;
+  for (int i = 1; i <= 5; ++i) c.AddVersion({i, "v" + std::to_string(i), false});
+  c.Compact(2);
+  ASSERT_EQ(c.versions().size(), 2u);
+  EXPECT_EQ(c.versions()[0].timestamp, 5);
+  EXPECT_EQ(c.versions()[1].timestamp, 4);
+}
+
+TEST(CellTest, CompactWithLeadingTombstoneEmptiesCell) {
+  Cell c;
+  c.AddVersion({1, "v", false});
+  c.AddVersion({2, "", true});
+  c.Compact(3);
+  EXPECT_TRUE(c.versions().empty());
+}
+
+TEST(RowResultTest, PayloadBytesCountsKeysAndValues) {
+  RowResult r;
+  r.row_key = "key1";  // 4
+  r.columns = {{"a", "xx"}, {"bb", "y"}};  // 1+2 + 2+1
+  EXPECT_EQ(r.PayloadBytes(), 10u);
+}
+
+}  // namespace
+}  // namespace synergy::hbase

@@ -1,0 +1,169 @@
+#include "hbase/region.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace synergy::hbase {
+namespace {
+
+ReadView Now() { return ReadView{}; }
+std::atomic<int64_t> clock{0};
+
+TEST(RegionTest, PutGetRoundTrip) {
+  Region r("", "", &clock);
+  r.Put("k1", {{"a", "1"}, {"b", "2"}}, 1);
+  auto row = r.Get("k1", Now());
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->columns.at("a"), "1");
+  EXPECT_EQ(row->columns.at("b"), "2");
+}
+
+TEST(RegionTest, GetMissingRow) {
+  Region r("", "", &clock);
+  EXPECT_FALSE(r.Get("nope", Now()).has_value());
+}
+
+TEST(RegionTest, DeleteHidesRow) {
+  Region r("", "", &clock);
+  r.Put("k", {{"a", "1"}}, 1);
+  r.Delete("k", 2);
+  EXPECT_FALSE(r.Get("k", Now()).has_value());
+}
+
+TEST(RegionTest, DeleteColumnKeepsSiblings) {
+  Region r("", "", &clock);
+  r.Put("k", {{"a", "1"}, {"b", "2"}}, 1);
+  r.DeleteColumn("k", "a", 2);
+  auto row = r.Get("k", Now());
+  ASSERT_TRUE(row.has_value());
+  EXPECT_FALSE(row->columns.contains("a"));
+  EXPECT_EQ(row->columns.at("b"), "2");
+}
+
+TEST(RegionTest, ContainsRespectsRange) {
+  Region r("b", "m", &clock);
+  EXPECT_TRUE(r.Contains("b"));
+  EXPECT_TRUE(r.Contains("cat"));
+  EXPECT_FALSE(r.Contains("m"));
+  EXPECT_FALSE(r.Contains("a"));
+  Region unbounded("", "", &clock);
+  EXPECT_TRUE(unbounded.Contains("anything"));
+}
+
+TEST(RegionTest, CheckAndPutSucceedsOnMatch) {
+  Region r("", "", &clock);
+  EXPECT_TRUE(r.CheckAndPut("k", "lock", std::nullopt, "1"));
+  EXPECT_FALSE(r.CheckAndPut("k", "lock", std::nullopt, "1"));
+  EXPECT_TRUE(r.CheckAndPut("k", "lock", "1", "0"));
+  auto row = r.Get("k", Now());
+  EXPECT_EQ(row->columns.at("lock"), "0");
+}
+
+TEST(RegionTest, CheckAndPutIsMutuallyExclusiveUnderThreads) {
+  Region r("", "", &clock);
+  r.Put("k", {{"lock", "0"}}, 1);
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      if (r.CheckAndPut("k", "lock", "0", "1")) winners.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(RegionTest, IncrementAccumulates) {
+  Region r("", "", &clock);
+  auto v1 = r.Increment("k", "n", 5);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, 5);
+  auto v2 = r.Increment("k", "n", -2);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 3);
+}
+
+TEST(RegionTest, IncrementRejectsNonInteger) {
+  Region r("", "", &clock);
+  r.Put("k", {{"n", "abc"}}, 1);
+  EXPECT_FALSE(r.Increment("k", "n", 1).ok());
+}
+
+TEST(RegionTest, ScanBatchReturnsSortedRange) {
+  Region r("", "", &clock);
+  for (const char* k : {"d", "a", "c", "b", "e"}) r.Put(k, {{"v", k}}, 1);
+  auto batch = r.ScanBatch("b", "e", 100, Now());
+  ASSERT_EQ(batch.rows.size(), 3u);
+  EXPECT_EQ(batch.rows[0].row_key, "b");
+  EXPECT_EQ(batch.rows[2].row_key, "d");
+  EXPECT_TRUE(batch.exhausted);
+}
+
+TEST(RegionTest, ScanBatchHonorsLimitAndResumes) {
+  Region r("", "", &clock);
+  for (const char* k : {"a", "b", "c", "d"}) r.Put(k, {{"v", k}}, 1);
+  auto batch = r.ScanBatch("", "", 2, Now());
+  ASSERT_EQ(batch.rows.size(), 2u);
+  EXPECT_FALSE(batch.exhausted);
+  EXPECT_EQ(batch.next_start_key, "c");
+  auto batch2 = r.ScanBatch(batch.next_start_key, "", 10, Now());
+  ASSERT_EQ(batch2.rows.size(), 2u);
+  EXPECT_TRUE(batch2.exhausted);
+}
+
+TEST(RegionTest, ScanSkipsDeletedRowsButCountsThem) {
+  Region r("", "", &clock);
+  r.Put("a", {{"v", "1"}}, 1);
+  r.Put("b", {{"v", "2"}}, 1);
+  r.Delete("a", 2);
+  auto batch = r.ScanBatch("", "", 10, Now());
+  ASSERT_EQ(batch.rows.size(), 1u);
+  EXPECT_EQ(batch.rows[0].row_key, "b");
+  EXPECT_EQ(batch.rows_examined, 2u);
+}
+
+TEST(RegionTest, MajorCompactRemovesDeletedRows) {
+  Region r("", "", &clock);
+  r.Put("a", {{"v", "1"}}, 1);
+  r.Delete("a", 2);
+  r.MajorCompact(3);
+  EXPECT_EQ(r.RowCount(), 0u);
+}
+
+TEST(RegionTest, SplitMovesUpperRows) {
+  Region left("", "", &clock);
+  for (const char* k : {"a", "b", "c", "d"}) left.Put(k, {{"v", k}}, 1);
+  Region right("c", "", &clock);
+  left.SplitInto("c", &right);
+  left.SetEndKey("c");
+  EXPECT_EQ(left.RowCount(), 2u);
+  EXPECT_EQ(right.RowCount(), 2u);
+  EXPECT_TRUE(right.Get("d", Now()).has_value());
+  EXPECT_FALSE(left.Contains("c"));
+}
+
+TEST(RegionTest, MedianKey) {
+  Region r("", "", &clock);
+  for (const char* k : {"a", "b", "c", "d"}) r.Put(k, {{"v", k}}, 1);
+  EXPECT_EQ(r.MedianKey(), "c");
+}
+
+TEST(RegionTest, ConcurrentPutsAllLand) {
+  Region r("", "", &clock);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 250; ++i) {
+        r.Put("k" + std::to_string(t) + "_" + std::to_string(i),
+              {{"v", "x"}}, t * 1000 + i + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(r.RowCount(), 1000u);
+}
+
+}  // namespace
+}  // namespace synergy::hbase

@@ -1,0 +1,113 @@
+#include "newsql/voltdb_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "tpcw/generator.h"
+#include "tpcw/schema.h"
+#include "tpcw/workload.h"
+
+namespace synergy::newsql {
+namespace {
+
+class VoltSupportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = tpcw::BuildCatalog();
+    workload_ = tpcw::BuildWorkload();
+    schemes_ = TpcwSchemes();
+  }
+
+  bool SupportedAnywhere(const std::string& id) {
+    const auto& sel =
+        std::get<sql::SelectStatement>(workload_.Find(id)->ast);
+    for (const PartitionScheme& scheme : schemes_) {
+      if (IsSupported(sel, catalog_, scheme)) return true;
+    }
+    return false;
+  }
+
+  sql::Catalog catalog_;
+  sql::Workload workload_;
+  std::vector<PartitionScheme> schemes_;
+};
+
+TEST_F(VoltSupportTest, PaperFig12SupportMatrix) {
+  // Fig. 12: Q3, Q7, Q9, Q10 are not supported in VoltDB.
+  for (const char* id : {"Q3", "Q7", "Q9", "Q10"}) {
+    EXPECT_FALSE(SupportedAnywhere(id)) << id;
+  }
+  for (const char* id : {"Q1", "Q2", "Q4", "Q5", "Q6", "Q8", "Q11"}) {
+    EXPECT_TRUE(SupportedAnywhere(id)) << id;
+  }
+}
+
+TEST_F(VoltSupportTest, NoSingleSchemeCoversHalfTheJoins) {
+  // §IX-D2: "using any single partitioning scheme less than 50% of the
+  // TPC-W joins are supported" — three schemes were needed.
+  for (const PartitionScheme& scheme : schemes_) {
+    int supported = 0;
+    for (const std::string& id : tpcw::JoinQueryIds()) {
+      const auto& sel =
+          std::get<sql::SelectStatement>(workload_.Find(id)->ast);
+      if (IsSupported(sel, catalog_, scheme)) ++supported;
+    }
+    EXPECT_LT(supported, 6) << scheme.name;
+  }
+}
+
+TEST_F(VoltSupportTest, SingleTableAlwaysSupported) {
+  for (const std::string& id : tpcw::SingleTableReadIds()) {
+    EXPECT_TRUE(SupportedAnywhere(id)) << id;
+  }
+}
+
+class VoltDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Init(tpcw::BuildCatalog()).ok());
+    tpcw::ScaleConfig cfg;
+    cfg.num_customers = 30;
+    ASSERT_TRUE(tpcw::GenerateDatabase(
+                    cfg,
+                    [&](const std::string& rel, const exec::Tuple& t) {
+                      return db_.Load(rel, t);
+                    })
+                    .ok());
+    workload_ = tpcw::BuildWorkload();
+    cfg_ = cfg;
+  }
+
+  VoltDb db_;
+  sql::Workload workload_;
+  tpcw::ScaleConfig cfg_;
+};
+
+TEST_F(VoltDbTest, SupportedJoinExecutes) {
+  auto r = db_.Execute(workload_.Find("Q1")->ast, {Value(5)});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->rows, 0u);
+  EXPECT_GT(r->virtual_ms, 0.0);
+  EXPECT_EQ(r->scheme, "P2-item");
+}
+
+TEST_F(VoltDbTest, UnsupportedJoinRejected) {
+  auto r = db_.Execute(workload_.Find("Q7")->ast, {Value(5)});
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(VoltDbTest, WritesExecuteQuickly) {
+  auto r = db_.Execute(workload_.Find("W11")->ast, {Value(99), Value(1)});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_LT(r->virtual_ms, 10.0);  // in-memory write
+}
+
+TEST_F(VoltDbTest, InMemoryJoinIsFast) {
+  auto r = db_.Execute(workload_.Find("Q2")->ast, {Value("USER3")});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_LT(r->virtual_ms, 100.0);
+}
+
+TEST_F(VoltDbTest, DbSizeIsPositive) { EXPECT_GT(db_.DbSizeBytes(), 0.0); }
+
+}  // namespace
+}  // namespace synergy::newsql

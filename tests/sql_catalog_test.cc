@@ -1,0 +1,129 @@
+#include "sql/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace synergy::sql {
+namespace {
+
+RelationDef Customer() {
+  return RelationDef{
+      .name = "Customer",
+      .columns = {{"c_id", DataType::kInt}, {"c_uname", DataType::kString}},
+      .primary_key = {"c_id"},
+      .foreign_keys = {}};
+}
+
+RelationDef Orders() {
+  return RelationDef{
+      .name = "Orders",
+      .columns = {{"o_id", DataType::kInt}, {"o_c_id", DataType::kInt}},
+      .primary_key = {"o_id"},
+      .foreign_keys = {{{"o_c_id"}, "Customer"}}};
+}
+
+TEST(CatalogTest, AddAndFindRelation) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation(Customer()).ok());
+  const RelationDef* r = cat.FindRelation("Customer");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->HasColumn("c_uname"));
+  EXPECT_FALSE(r->HasColumn("zzz"));
+  EXPECT_EQ(*r->ColumnType("c_id"), DataType::kInt);
+  EXPECT_TRUE(r->IsPrimaryKeyColumn("c_id"));
+  EXPECT_FALSE(r->IsPrimaryKeyColumn("c_uname"));
+}
+
+TEST(CatalogTest, DuplicateRelationFails) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation(Customer()).ok());
+  EXPECT_EQ(cat.AddRelation(Customer()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RelationWithoutPkFails) {
+  Catalog cat;
+  RelationDef bad{.name = "X", .columns = {{"a", DataType::kInt}}};
+  EXPECT_FALSE(cat.AddRelation(bad).ok());
+}
+
+TEST(CatalogTest, PkMustBeAColumn) {
+  Catalog cat;
+  RelationDef bad{.name = "X",
+                  .columns = {{"a", DataType::kInt}},
+                  .primary_key = {"b"}};
+  EXPECT_FALSE(cat.AddRelation(bad).ok());
+}
+
+TEST(CatalogTest, IndexCoversPkAutomatically) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation(Customer()).ok());
+  ASSERT_TRUE(cat.AddIndex({.name = "ix_c_uname",
+                            .relation = "Customer",
+                            .indexed_columns = {"c_uname"}})
+                  .ok());
+  const IndexDef* ix = cat.FindIndex("ix_c_uname");
+  ASSERT_NE(ix, nullptr);
+  EXPECT_EQ(ix->covered_columns.size(), 2u);  // c_uname + c_id
+  auto for_rel = cat.IndexesFor("Customer");
+  ASSERT_EQ(for_rel.size(), 1u);
+  EXPECT_EQ(for_rel[0]->name, "ix_c_uname");
+}
+
+TEST(CatalogTest, IndexOnMissingRelationFails) {
+  Catalog cat;
+  EXPECT_FALSE(
+      cat.AddIndex({.name = "ix", .relation = "Nope", .indexed_columns = {"a"}})
+          .ok());
+}
+
+TEST(CatalogTest, IndexOnMissingColumnFails) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation(Customer()).ok());
+  EXPECT_FALSE(cat.AddIndex({.name = "ix",
+                             .relation = "Customer",
+                             .indexed_columns = {"zzz"}})
+                   .ok());
+}
+
+TEST(CatalogTest, ForeignKeyLookup) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation(Customer()).ok());
+  ASSERT_TRUE(cat.AddRelation(Orders()).ok());
+  const ForeignKey* fk = cat.FindForeignKey("Orders", "Customer");
+  ASSERT_NE(fk, nullptr);
+  EXPECT_EQ(fk->columns[0], "o_c_id");
+  EXPECT_EQ(cat.FindForeignKey("Customer", "Orders"), nullptr);
+}
+
+TEST(CatalogTest, ViewsAreRelationsWithMetadata) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation(Customer()).ok());
+  ASSERT_TRUE(cat.AddRelation(Orders()).ok());
+  ViewDef view{.name = "Customer-Orders",
+               .relations = {"Customer", "Orders"},
+               .edges = {{}, {{"o_c_id"}, "Customer"}},
+               .root = "Customer"};
+  RelationDef storage{.name = "Customer-Orders",
+                      .columns = {{"c_id", DataType::kInt},
+                                  {"c_uname", DataType::kString},
+                                  {"o_id", DataType::kInt},
+                                  {"o_c_id", DataType::kInt}},
+                      .primary_key = {"o_id"}};
+  ASSERT_TRUE(cat.AddView(view, storage).ok());
+  EXPECT_TRUE(cat.IsView("Customer-Orders"));
+  EXPECT_FALSE(cat.IsView("Customer"));
+  ASSERT_NE(cat.FindView("Customer-Orders"), nullptr);
+  ASSERT_NE(cat.FindRelation("Customer-Orders"), nullptr);
+  EXPECT_EQ(cat.Views().size(), 1u);
+  EXPECT_EQ(cat.Relations().size(), 3u);
+}
+
+TEST(CatalogTest, PrimaryKeyTypes) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation(Customer()).ok());
+  auto types = cat.FindRelation("Customer")->PrimaryKeyTypes();
+  ASSERT_EQ(types.size(), 1u);
+  EXPECT_EQ(types[0], DataType::kInt);
+}
+
+}  // namespace
+}  // namespace synergy::sql

@@ -1,0 +1,190 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/workload.h"
+
+namespace synergy::sql {
+namespace {
+
+TEST(LexerTest, TokenizesSymbolsAndLiterals) {
+  auto tokens = Tokenize("a.b = 'x''y', 3 <> 4.5 ?");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const Token& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[2].text, "b");
+  EXPECT_EQ((*tokens)[4].value.as_string(), "x'y");
+  EXPECT_EQ(types.back(), TokenType::kEnd);
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+TEST(LexerTest, NegativeNumbers) {
+  auto tokens = Tokenize("-42 -1.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].value.as_int(), -42);
+  EXPECT_DOUBLE_EQ((*tokens)[1].value.as_double(), -1.5);
+}
+
+TEST(ParserTest, SimpleSelectStar) {
+  auto stmt = Parse("SELECT * FROM Customer WHERE c_id = ?");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStatement>(*stmt);
+  ASSERT_EQ(sel.items.size(), 1u);
+  EXPECT_TRUE(sel.items[0].star);
+  ASSERT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0].table, "Customer");
+  ASSERT_EQ(sel.where.size(), 1u);
+  EXPECT_EQ(sel.where[0].lhs.column.column, "c_id");
+  EXPECT_EQ(sel.where[0].rhs.kind, Operand::Kind::kParam);
+}
+
+TEST(ParserTest, JoinWithAliases) {
+  auto stmt = Parse(
+      "SELECT * FROM Customer as c, Orders as o "
+      "WHERE c.c_id = o.o_c_id and c.c_uname = ?");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStatement>(*stmt);
+  ASSERT_EQ(sel.from.size(), 2u);
+  EXPECT_EQ(sel.from[0].alias, "c");
+  EXPECT_EQ(sel.from[1].alias, "o");
+  ASSERT_EQ(sel.where.size(), 2u);
+  EXPECT_TRUE(sel.where[0].IsEquiJoin());
+  EXPECT_FALSE(sel.where[1].IsEquiJoin());
+}
+
+TEST(ParserTest, BareAlias) {
+  auto stmt = Parse("SELECT c.c_id FROM Customer c WHERE c.c_id = 5");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStatement>(*stmt);
+  EXPECT_EQ(sel.from[0].alias, "c");
+}
+
+TEST(ParserTest, OrderGroupLimit) {
+  auto stmt = Parse(
+      "SELECT i_id, SUM(ol_qty) AS qty FROM Item, Order_line "
+      "WHERE i_id = ol_i_id GROUP BY i_id ORDER BY qty DESC, i_id LIMIT 50");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStatement>(*stmt);
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[1].agg, AggFunc::kSum);
+  EXPECT_EQ(sel.items[1].output_name, "qty");
+  ASSERT_EQ(sel.group_by.size(), 1u);
+  ASSERT_EQ(sel.order_by.size(), 2u);
+  EXPECT_TRUE(sel.order_by[0].descending);
+  EXPECT_FALSE(sel.order_by[1].descending);
+  EXPECT_EQ(sel.limit, 50);
+  EXPECT_TRUE(sel.HasAggregates());
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = Parse("SELECT COUNT(*) FROM Orders");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStatement>(*stmt);
+  EXPECT_TRUE(sel.items[0].count_star);
+  EXPECT_EQ(sel.items[0].agg, AggFunc::kCount);
+}
+
+TEST(ParserTest, Insert) {
+  auto stmt = Parse("INSERT INTO Address (addr_id, addr_street1) VALUES (?, ?)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ins = std::get<InsertStatement>(*stmt);
+  EXPECT_EQ(ins.table, "Address");
+  ASSERT_EQ(ins.columns.size(), 2u);
+  EXPECT_EQ(ins.values[0].param_index, 0);
+  EXPECT_EQ(ins.values[1].param_index, 1);
+}
+
+TEST(ParserTest, InsertCountMismatchFails) {
+  EXPECT_FALSE(Parse("INSERT INTO T (a, b) VALUES (1)").ok());
+}
+
+TEST(ParserTest, Update) {
+  auto stmt = Parse("UPDATE Item SET i_cost = ?, i_pub_date = ? WHERE i_id = ?");
+  ASSERT_TRUE(stmt.ok());
+  const auto& upd = std::get<UpdateStatement>(*stmt);
+  EXPECT_EQ(upd.table, "Item");
+  ASSERT_EQ(upd.assignments.size(), 2u);
+  ASSERT_EQ(upd.where.size(), 1u);
+  EXPECT_EQ(CountParams(*stmt), 3);
+}
+
+TEST(ParserTest, Delete) {
+  auto stmt = Parse(
+      "DELETE FROM Shopping_cart_line WHERE scl_sc_id = ? AND scl_i_id = ?");
+  ASSERT_TRUE(stmt.ok());
+  const auto& del = std::get<DeleteStatement>(*stmt);
+  EXPECT_EQ(del.table, "Shopping_cart_line");
+  ASSERT_EQ(del.where.size(), 2u);
+}
+
+TEST(ParserTest, SelfJoinWithNotEquals) {
+  auto stmt = Parse(
+      "SELECT ol.ol_i_id FROM Order_line as ol, Order_line as ol2 "
+      "WHERE ol.ol_o_id = ol2.ol_o_id AND ol.ol_i_id <> ol2.ol_i_id");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStatement>(*stmt);
+  EXPECT_EQ(sel.from[0].alias, "ol");
+  EXPECT_EQ(sel.from[1].alias, "ol2");
+  EXPECT_EQ(sel.where[1].op, CompareOp::kNe);
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("SELECT * FROM T garbage garbage2 garbage3").ok());
+}
+
+TEST(ParserTest, RejectsUnknownStatement) {
+  EXPECT_FALSE(Parse("EXPLAIN SELECT 1").ok());
+}
+
+TEST(ParserTest, ParamIndicesAssignedInOrder) {
+  auto stmt = Parse("SELECT * FROM T WHERE a = ? AND b = ? AND c = ?");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStatement>(*stmt);
+  EXPECT_EQ(sel.where[0].rhs.param_index, 0);
+  EXPECT_EQ(sel.where[1].rhs.param_index, 1);
+  EXPECT_EQ(sel.where[2].rhs.param_index, 2);
+  EXPECT_EQ(CountParams(*stmt), 3);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  const std::string sql =
+      "SELECT * FROM Customer AS c, Orders AS o WHERE c.c_id = o.o_c_id";
+  auto stmt = Parse(sql);
+  ASSERT_TRUE(stmt.ok());
+  // Re-parse the printed form; it should be stable.
+  auto stmt2 = Parse(StatementToString(*stmt));
+  ASSERT_TRUE(stmt2.ok());
+  EXPECT_EQ(StatementToString(*stmt), StatementToString(*stmt2));
+}
+
+TEST(ParserTest, IsReadStatement) {
+  EXPECT_TRUE(IsReadStatement(MustParse("SELECT * FROM T")));
+  EXPECT_FALSE(IsReadStatement(MustParse("DELETE FROM T WHERE a = 1")));
+}
+
+TEST(WorkloadTest, AddAndFind) {
+  Workload w;
+  ASSERT_TRUE(w.Add("Q1", "SELECT * FROM T WHERE a = ?").ok());
+  ASSERT_TRUE(w.Add("W1", "INSERT INTO T (a) VALUES (?)", 2.0).ok());
+  EXPECT_EQ(w.statements.size(), 2u);
+  ASSERT_NE(w.Find("W1"), nullptr);
+  EXPECT_EQ(w.Find("W1")->frequency, 2.0);
+  EXPECT_EQ(w.Find("nope"), nullptr);
+}
+
+TEST(WorkloadTest, AddRejectsBadSql) {
+  Workload w;
+  EXPECT_FALSE(w.Add("bad", "SELEC * FORM T").ok());
+}
+
+}  // namespace
+}  // namespace synergy::sql

@@ -1,0 +1,193 @@
+// Validates the §V mechanism against the paper's Company example
+// (Figures 4 and 5).
+#include "synergy/candidate_views.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "company_fixture.h"
+
+namespace synergy::core {
+namespace {
+
+class CandidateViewsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = testing::CompanyCatalog();
+    workload_ = testing::CompanyWorkload();
+    graph_ = SchemaGraph::FromCatalog(catalog_);
+  }
+  sql::Catalog catalog_;
+  sql::Workload workload_;
+  SchemaGraph graph_;
+};
+
+TEST_F(CandidateViewsTest, SchemaGraphHasAllRelationsAndEdges) {
+  EXPECT_EQ(graph_.relations().size(), 7u);
+  // 9 FK edges total (Employee has 3, Works_On 2, Dependent 2, DL 1, P 1).
+  EXPECT_EQ(graph_.edges().size(), 9u);
+  // Parallel edges Address->Employee (home + office).
+  size_t addr_emp = 0;
+  for (const SchemaEdge& e : graph_.edges()) {
+    if (e.parent == "Address" && e.child == "Employee") ++addr_emp;
+  }
+  EXPECT_EQ(addr_emp, 2u);
+}
+
+TEST_F(CandidateViewsTest, EdgeWeightsFollowWorkload) {
+  SchemaEdge home{"Address", "Employee", {{"EHome_AID"}, "Address"}};
+  SchemaEdge office{"Address", "Employee", {{"EOffice_AID"}, "Address"}};
+  SchemaEdge ewo{"Employee", "Works_On", {{"WO_EID"}, "Employee"}};
+  EXPECT_EQ(EdgeWeight(home, workload_, catalog_), 1.0);   // W1
+  EXPECT_EQ(EdgeWeight(office, workload_, catalog_), 0.0);
+  EXPECT_EQ(EdgeWeight(ewo, workload_, catalog_), 2.0);    // W2 + W3
+}
+
+TEST_F(CandidateViewsTest, QueryJoinEdgeExtraction) {
+  const auto& w2 = std::get<sql::SelectStatement>(
+      workload_.Find("W2")->ast);
+  auto joins = ExtractJoinEdges(w2, catalog_);
+  ASSERT_EQ(joins.size(), 2u);
+  std::set<std::string> labels;
+  for (const auto& j : joins) labels.insert(j.edge.parent + ">" + j.edge.child);
+  EXPECT_TRUE(labels.contains("Department>Employee"));
+  EXPECT_TRUE(labels.contains("Employee>Works_On"));
+}
+
+TEST_F(CandidateViewsTest, NonKeyJoinsAreIgnored) {
+  sql::Workload w;
+  // Equi join on non-key columns: not a key/foreign-key join.
+  ASSERT_TRUE(w.Add("X",
+                    "SELECT * FROM Employee as e, Dependent as d "
+                    "WHERE e.EName = d.DPName")
+                  .ok());
+  const auto& stmt = std::get<sql::SelectStatement>(w.statements[0].ast);
+  EXPECT_TRUE(ExtractJoinEdges(stmt, catalog_).empty());
+}
+
+TEST_F(CandidateViewsTest, RootedTreesMatchPaperFigure4b) {
+  auto result = GenerateCandidateViews(graph_, workload_, catalog_,
+                                       testing::CompanyRoots());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->trees.size(), 2u);
+  const RootedTree* address = nullptr;
+  const RootedTree* department = nullptr;
+  for (const RootedTree& t : result->trees) {
+    if (t.root() == "Address") address = &t;
+    if (t.root() == "Department") department = &t;
+  }
+  ASSERT_NE(address, nullptr);
+  ASSERT_NE(department, nullptr);
+
+  // Address tree: A -> E (via EHome_AID), E -> WO, E -> DP.
+  EXPECT_TRUE(address->Contains("Employee"));
+  EXPECT_TRUE(address->Contains("Works_On"));
+  EXPECT_TRUE(address->Contains("Dependent"));
+  const TreeEdge* ae = address->EdgeTo("Employee");
+  ASSERT_NE(ae, nullptr);
+  EXPECT_EQ(ae->fk.columns, std::vector<std::string>{"EHome_AID"});
+  EXPECT_EQ(*address->ParentOf("Works_On"), "Employee");
+  EXPECT_EQ(*address->ParentOf("Dependent"), "Employee");
+
+  // Department tree: D -> DL, D -> P.
+  EXPECT_TRUE(department->Contains("Department_Location"));
+  EXPECT_TRUE(department->Contains("Project"));
+  EXPECT_FALSE(department->Contains("Employee"));
+  EXPECT_FALSE(department->Contains("Works_On"));
+
+  EXPECT_TRUE(result->unassigned.empty());
+}
+
+TEST_F(CandidateViewsTest, EachRelationInAtMostOneTree) {
+  auto result = GenerateCandidateViews(graph_, workload_, catalog_,
+                                       testing::CompanyRoots());
+  ASSERT_TRUE(result.ok());
+  std::map<std::string, int> membership;
+  for (const RootedTree& t : result->trees) {
+    for (const std::string& rel : t.Members()) membership[rel] += 1;
+  }
+  for (const auto& [rel, count] : membership) {
+    EXPECT_EQ(count, 1) << rel << " is in " << count << " trees";
+  }
+}
+
+TEST_F(CandidateViewsTest, TreesHaveUniquePaths) {
+  auto result = GenerateCandidateViews(graph_, workload_, catalog_,
+                                       testing::CompanyRoots());
+  ASSERT_TRUE(result.ok());
+  for (const RootedTree& t : result->trees) {
+    for (const std::string& rel : t.Members()) {
+      if (rel == t.root()) continue;
+      const auto path = t.PathFromRoot(rel);
+      ASSERT_GE(path.size(), 2u);
+      EXPECT_EQ(path.front(), t.root());
+      EXPECT_EQ(path.back(), rel);
+    }
+  }
+}
+
+TEST_F(CandidateViewsTest, PathFromRootWalksTheChain) {
+  auto result = GenerateCandidateViews(graph_, workload_, catalog_,
+                                       testing::CompanyRoots());
+  ASSERT_TRUE(result.ok());
+  for (const RootedTree& t : result->trees) {
+    if (t.root() != "Address") continue;
+    const auto path = t.PathFromRoot("Works_On");
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0], "Address");
+    EXPECT_EQ(path[1], "Employee");
+    EXPECT_EQ(path[2], "Works_On");
+  }
+}
+
+TEST_F(CandidateViewsTest, CandidatePathEnumeration) {
+  RootedTree tree("R1");
+  tree.AddEdge({"R1", "R2", {{"fk2"}, "R1"}, 1});
+  tree.AddEdge({"R2", "R3", {{"fk3"}, "R2"}, 1});
+  tree.AddEdge({"R2", "R5", {{"fk5"}, "R2"}, 1});
+  auto paths = EnumerateCandidatePaths(tree);
+  // Paths (>=2 nodes): R1-R2, R1-R2-R3, R1-R2-R5, R2-R3, R2-R5.
+  EXPECT_EQ(paths.size(), 5u);
+}
+
+TEST_F(CandidateViewsTest, UnknownRootFails) {
+  auto result =
+      GenerateCandidateViews(graph_, workload_, catalog_, {"Nope"});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(CandidateViewsTest, CycleDetection) {
+  sql::Catalog cat;
+  ASSERT_TRUE(cat.AddRelation({.name = "A",
+                               .columns = {{"a_id", DataType::kInt},
+                                           {"a_b", DataType::kInt}},
+                               .primary_key = {"a_id"},
+                               .foreign_keys = {{{"a_b"}, "B"}}})
+                  .ok());
+  ASSERT_TRUE(cat.AddRelation({.name = "B",
+                               .columns = {{"b_id", DataType::kInt},
+                                           {"b_a", DataType::kInt}},
+                               .primary_key = {"b_id"},
+                               .foreign_keys = {{{"b_a"}, "A"}}})
+                  .ok());
+  SchemaGraph g = SchemaGraph::FromCatalog(cat);
+  sql::Workload empty;
+  auto result = GenerateCandidateViews(g, empty, cat, {"A"});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(CandidateViewsTest, RelationUnreachableFromRootsIsUnassigned) {
+  // Only Department as root: Address/Employee subtree partially unreachable.
+  auto result =
+      GenerateCandidateViews(graph_, workload_, catalog_, {"Department"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->unassigned.empty());
+  // Address has no incoming edges from Department.
+  EXPECT_NE(std::find(result->unassigned.begin(), result->unassigned.end(),
+                      "Address"),
+            result->unassigned.end());
+}
+
+}  // namespace
+}  // namespace synergy::core

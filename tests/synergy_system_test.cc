@@ -1,0 +1,293 @@
+// End-to-end Synergy system tests on the Company schema: view maintenance
+// consistency, locking, write procedures and failover.
+#include "synergy/synergy_system.h"
+
+#include <gtest/gtest.h>
+
+#include "company_fixture.h"
+
+namespace synergy::core {
+namespace {
+
+class SynergySystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    system_ = std::make_unique<SynergySystem>(
+        &cluster_, SynergyConfig{.roots = testing::CompanyRoots()});
+    ASSERT_TRUE(
+        system_->Build(testing::CompanyCatalog(), testing::CompanyWorkload())
+            .ok());
+    ASSERT_TRUE(system_->CreateStorage().ok());
+    Populate();
+  }
+
+  void Populate() {
+    hbase::Session s(&cluster_);
+    for (int a = 1; a <= 4; ++a) {
+      ASSERT_TRUE(system_
+                      ->Load(s, "Address",
+                             {{"AID", Value(a)},
+                              {"Street", Value("st" + std::to_string(a))},
+                              {"City", Value("c")},
+                              {"Zip", Value("z")}})
+                      .ok());
+    }
+    for (int d = 1; d <= 2; ++d) {
+      ASSERT_TRUE(system_
+                      ->Load(s, "Department",
+                             {{"DNo", Value(d)},
+                              {"DName", Value("dept" + std::to_string(d))}})
+                      .ok());
+    }
+    for (int e = 1; e <= 3; ++e) {
+      ASSERT_TRUE(system_
+                      ->Load(s, "Employee",
+                             {{"EID", Value(e)},
+                              {"EName", Value("emp" + std::to_string(e))},
+                              {"EHome_AID", Value(e)},
+                              {"EOffice_AID", Value(4)},
+                              {"E_DNo", Value(e % 2 + 1)}})
+                      .ok());
+    }
+    for (int p = 1; p <= 2; ++p) {
+      ASSERT_TRUE(system_
+                      ->Load(s, "Project",
+                             {{"PNo", Value(p)},
+                              {"PName", Value("proj")},
+                              {"P_DNo", Value(p)}})
+                      .ok());
+    }
+    // Employee e works on projects 1..e.
+    for (int e = 1; e <= 3; ++e) {
+      for (int p = 1; p <= (e % 2) + 1; ++p) {
+        ASSERT_TRUE(system_
+                        ->Load(s, "Works_On",
+                               {{"WO_EID", Value(e)},
+                                {"WO_PNo", Value(p)},
+                                {"Hours", Value(10 * e + p)}})
+                        .ok());
+      }
+    }
+  }
+
+  exec::QueryResult RunWorkloadQuery(const std::string& id,
+                                     std::vector<Value> params) {
+    const sql::WorkloadStatement* stmt = system_->workload().Find(id);
+    EXPECT_NE(stmt, nullptr);
+    hbase::Session s(&cluster_);
+    auto result = system_->ExecuteRead(
+        s, std::get<sql::SelectStatement>(stmt->ast), params);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? std::move(*result) : exec::QueryResult{};
+  }
+
+  size_t ViewRowCount(const std::string& view) {
+    // Compact so tombstoned rows don't inflate the approximate count.
+    cluster_.MajorCompactAll();
+    return system_->adapter()->RowCount(view);
+  }
+
+  hbase::Cluster cluster_;
+  std::unique_ptr<SynergySystem> system_;
+};
+
+TEST_F(SynergySystemTest, BuildSelectsViewsAndRewrites) {
+  EXPECT_NE(system_->catalog().FindView("Address-Employee"), nullptr);
+  EXPECT_NE(system_->catalog().FindView("Employee-Works_On"), nullptr);
+  EXPECT_EQ(system_->rewritten_ids().size(), 3u);
+}
+
+TEST_F(SynergySystemTest, LoadMaintainsViews) {
+  // 3 employees with valid home addresses -> 3 Address-Employee rows.
+  EXPECT_EQ(ViewRowCount("Address-Employee"), 3u);
+  // Works_On rows: e1 -> p1,p2; e2 -> p1; e3 -> p1,p2 = 5 rows.
+  EXPECT_EQ(ViewRowCount("Employee-Works_On"), 5u);
+}
+
+TEST_F(SynergySystemTest, RewrittenQueryReturnsJoinResult) {
+  auto r = RunWorkloadQuery("W1", {Value(2)});
+  ASSERT_EQ(r.row_count, 1u);
+  // The view row carries both Employee and Address attributes.
+  auto has_col = [&](const std::string& name) {
+    return std::find(r.columns.begin(), r.columns.end(), name) !=
+           r.columns.end();
+  };
+  EXPECT_TRUE(has_col("EName"));
+  EXPECT_TRUE(has_col("Street"));
+}
+
+TEST_F(SynergySystemTest, W2JoinsViewWithDepartment) {
+  auto r = RunWorkloadQuery("W2", {Value(1)});
+  // Department 1: employees with E_DNo==1 -> e2 (2%2+1=1? e1:1%2+1=2,
+  // e2:0+1=1, e3:1+1=2) -> employee 2, works on 1 project.
+  EXPECT_EQ(r.row_count, 1u);
+}
+
+TEST_F(SynergySystemTest, W3FiltersOnViewIndex) {
+  auto r = RunWorkloadQuery("W3", {Value(11)});  // e1, p1 -> Hours 11
+  EXPECT_EQ(r.row_count, 1u);
+}
+
+TEST_F(SynergySystemTest, InsertWriteMaintainsViewsTransactionally) {
+  hbase::Session s(&cluster_);
+  auto stmt = sql::MustParse(
+      "INSERT INTO Works_On (WO_EID, WO_PNo, Hours) VALUES (?, ?, ?)");
+  auto result =
+      system_->ExecuteWrite(s, stmt, {Value(2), Value(2), Value(99)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ViewRowCount("Employee-Works_On"), 6u);
+  auto r = RunWorkloadQuery("W3", {Value(99)});
+  EXPECT_EQ(r.row_count, 1u);
+}
+
+TEST_F(SynergySystemTest, DeleteWriteRemovesViewRows) {
+  hbase::Session s(&cluster_);
+  auto stmt = sql::MustParse(
+      "DELETE FROM Works_On WHERE WO_EID = ? AND WO_PNo = ?");
+  ASSERT_TRUE(system_->ExecuteWrite(s, stmt, {Value(1), Value(1)}).ok());
+  EXPECT_EQ(ViewRowCount("Employee-Works_On"), 4u);
+  EXPECT_EQ(RunWorkloadQuery("W3", {Value(11)}).row_count, 0u);
+}
+
+TEST_F(SynergySystemTest, UpdateWritePropagatesToViews) {
+  hbase::Session s(&cluster_);
+  // Employee is a mid-path member of both views.
+  auto stmt = sql::MustParse("UPDATE Employee SET EName = ? WHERE EID = ?");
+  ASSERT_TRUE(
+      system_->ExecuteWrite(s, stmt, {Value("renamed"), Value(1)}).ok());
+  auto r = RunWorkloadQuery("W1", {Value(1)});
+  ASSERT_EQ(r.row_count, 1u);
+  bool found = false;
+  for (size_t i = 0; i < r.columns.size(); ++i) {
+    if (r.columns[i] == "EName") {
+      EXPECT_EQ(r.rows[0][i], Value("renamed"));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Both Works_On view rows of employee 1 updated too.
+  auto r3 = RunWorkloadQuery("W3", {Value(11)});
+  ASSERT_EQ(r3.row_count, 1u);
+}
+
+TEST_F(SynergySystemTest, ViewsStayConsistentWithBaseJoin) {
+  // Property: view contents == join of base tables, after a mix of writes.
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(system_
+                  ->ExecuteWrite(s,
+                                 sql::MustParse("INSERT INTO Works_On "
+                                                "(WO_EID, WO_PNo, Hours) "
+                                                "VALUES (?, ?, ?)"),
+                                 {Value(3), Value(9), Value(7)})
+                  .ok());
+  ASSERT_TRUE(system_
+                  ->ExecuteWrite(s,
+                                 sql::MustParse("DELETE FROM Works_On WHERE "
+                                                "WO_EID = ? AND WO_PNo = ?"),
+                                 {Value(2), Value(1)})
+                  .ok());
+  ASSERT_TRUE(system_
+                  ->ExecuteWrite(s,
+                                 sql::MustParse("UPDATE Employee SET EName = ? "
+                                                "WHERE EID = ?"),
+                                 {Value("zz"), Value(3)})
+                  .ok());
+  // Compare view scan vs base join (computed through the same executor but
+  // over base tables).
+  auto view_scan = sql::MustParse("SELECT * FROM Employee-Works_On");
+  // Hyphenated names do not lex; query the adapter row count instead and
+  // cross-check via the base join.
+  (void)view_scan;
+  exec::Executor executor(system_->adapter());
+  auto base_join = sql::MustParse(
+      "SELECT * FROM Employee as e, Works_On as wo WHERE e.EID = wo.WO_EID");
+  exec::ExecOptions opts;
+  opts.force_hash_join = true;
+  auto base = executor.ExecuteSelect(
+      s, std::get<sql::SelectStatement>(base_join), {}, opts);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->row_count, ViewRowCount("Employee-Works_On"));
+}
+
+TEST_F(SynergySystemTest, LockSpecDerivedThroughFkChain) {
+  hbase::Session s(&cluster_);
+  // Works_On row of employee 2: chain WO -> E(2) -> Address(AID=2).
+  auto lock = system_->DeriveLockSpec(
+      s, "Works_On",
+      {{"WO_EID", Value(2)}, {"WO_PNo", Value(1)}, {"Hours", Value(21)}});
+  ASSERT_TRUE(lock.ok());
+  ASSERT_TRUE(lock->has_value());
+  EXPECT_EQ((*lock)->root_relation, "Address");
+  EXPECT_EQ((*lock)->root_key, exec::EncodePkKeyFromValues({Value(2)}));
+}
+
+TEST_F(SynergySystemTest, RootWriteLocksItsOwnKey) {
+  hbase::Session s(&cluster_);
+  auto lock = system_->DeriveLockSpec(
+      s, "Address",
+      {{"AID", Value(9)}, {"Street", Value("x")}});
+  ASSERT_TRUE(lock.ok());
+  ASSERT_TRUE(lock->has_value());
+  EXPECT_EQ((*lock)->root_relation, "Address");
+}
+
+TEST_F(SynergySystemTest, InsertIntoRootCreatesLockEntry) {
+  hbase::Session s(&cluster_);
+  auto stmt = sql::MustParse(
+      "INSERT INTO Address (AID, Street, City, Zip) VALUES (?, ?, ?, ?)");
+  ASSERT_TRUE(system_
+                  ->ExecuteWrite(
+                      s, stmt,
+                      {Value(50), Value("s"), Value("c"), Value("z")})
+                  .ok());
+  txn::LockManager locks(&cluster_);
+  auto held =
+      locks.IsHeld(s, "Address", exec::EncodePkKeyFromValues({Value(50)}));
+  ASSERT_TRUE(held.ok());
+  EXPECT_FALSE(*held);  // entry exists but lock is free
+}
+
+TEST_F(SynergySystemTest, MultiRowWriteRejected) {
+  hbase::Session s(&cluster_);
+  // Missing WO_PNo key attribute -> would affect multiple rows.
+  auto stmt = sql::MustParse("DELETE FROM Works_On WHERE WO_EID = ?");
+  auto result = system_->ExecuteWrite(s, stmt, {Value(1)});
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(SynergySystemTest, WalReplayAfterCrashRestoresWrite) {
+  hbase::Session s(&cluster_);
+  system_->txn_layer()->slave(0)->InjectCrashBeforeExecute();
+  auto stmt = sql::MustParse(
+      "INSERT INTO Works_On (WO_EID, WO_PNo, Hours) VALUES (?, ?, ?)");
+  auto result = system_->ExecuteWrite(s, stmt, {Value(3), Value(7), Value(1)});
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ViewRowCount("Employee-Works_On"), 5u);  // not applied yet
+  ASSERT_TRUE(system_->txn_layer()
+                  ->DetectAndRecover(
+                      s,
+                      [&](hbase::Session& rs, const std::string& payload) {
+                        return system_->ReplayPayload(rs, payload);
+                      },
+                      nullptr)
+                  .ok());
+  EXPECT_EQ(ViewRowCount("Employee-Works_On"), 6u);
+  EXPECT_EQ(RunWorkloadQuery("W3", {Value(1)}).row_count, 1u);
+}
+
+TEST_F(SynergySystemTest, SingleLockHeldPerWrite) {
+  // Structural invariant behind the paper's design: every relation belongs
+  // to at most one rooted tree, so DeriveLockSpec returns at most one lock.
+  hbase::Session s(&cluster_);
+  for (const char* rel : {"Employee", "Works_On", "Dependent", "Project",
+                          "Department_Location"}) {
+    int trees_containing = 0;
+    for (const RootedTree& t : system_->trees()) {
+      if (t.Contains(rel)) ++trees_containing;
+    }
+    EXPECT_LE(trees_containing, 1) << rel;
+  }
+}
+
+}  // namespace
+}  // namespace synergy::core

@@ -1,0 +1,101 @@
+// Schema-unaware (tuning-advisor-style) selector tests.
+#include "synergy/unaware_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "tpcw/schema.h"
+#include "tpcw/workload.h"
+
+namespace synergy::core {
+namespace {
+
+size_t TpcwRows(const std::string& rel) {
+  static const std::map<std::string, size_t> kCounts = {
+      {"Customer", 2000},        {"Item", 20000},   {"Author", 5000},
+      {"Address", 4000},         {"Country", 92},   {"Orders", 20000},
+      {"Order_line", 60000},     {"CC_Xacts", 20000},
+      {"Shopping_cart", 200},    {"Shopping_cart_line", 400},
+      {"Orders_tmp", 3333}};
+  auto it = kCounts.find(rel);
+  return it == kCounts.end() ? 0 : it->second;
+}
+
+TEST(UnawareSelectorTest, EnumeratesChainsFromQueries) {
+  sql::Catalog cat = tpcw::BuildCatalog();
+  sql::Workload w = tpcw::BuildWorkload();
+  auto candidates = EnumerateUnawareCandidates(w, cat, TpcwRows);
+  EXPECT_FALSE(candidates.empty());
+  std::set<std::string> names;
+  for (const auto& c : candidates) names.insert(c.view.Name());
+  // Q3's chain crosses Synergy's tree boundary — the unaware selector does
+  // not care about rooted trees.
+  EXPECT_TRUE(names.contains("Country-Address-Customer"));
+  EXPECT_TRUE(names.contains("Author-Item"));
+  for (const auto& c : candidates) {
+    EXPECT_GE(c.view.relations.size(), 2u);
+    EXPECT_GT(c.storage_bytes, 0.0);
+  }
+}
+
+TEST(UnawareSelectorTest, BenefitAccumulatesAcrossQueries) {
+  sql::Catalog cat = tpcw::BuildCatalog();
+  sql::Workload w = tpcw::BuildWorkload();
+  auto candidates = EnumerateUnawareCandidates(w, cat, TpcwRows);
+  double author_item_benefit = 0;
+  for (const auto& c : candidates) {
+    if (c.view.Name() == "Author-Item") author_item_benefit = c.benefit;
+  }
+  // Q4, Q5, Q6 (and Q10's sub-chain) all contribute.
+  EXPECT_GT(author_item_benefit, 0.0);
+}
+
+TEST(UnawareSelectorTest, BudgetLimitsSelection) {
+  sql::Catalog cat = tpcw::BuildCatalog();
+  sql::Workload w = tpcw::BuildWorkload();
+  UnawareOptions tight;
+  tight.storage_budget_fraction = 0.01;
+  auto few = SelectViewsUnaware(w, cat, TpcwRows, tight);
+  UnawareOptions loose;
+  loose.storage_budget_fraction = 10.0;
+  auto many = SelectViewsUnaware(w, cat, TpcwRows, loose);
+  EXPECT_LE(few.size(), many.size());
+  // With an effectively unlimited budget, the order-line-grain chains are
+  // selected too (the heavy-maintenance choice the paper criticizes).
+  std::set<std::string> names;
+  for (const auto& v : many) names.insert(v.Name());
+  EXPECT_TRUE(names.contains("Author-Item-Order_line") ||
+              names.contains("Item-Order_line"));
+}
+
+TEST(UnawareSelectorTest, DefaultBudgetSelectsSmallHighValueViews) {
+  sql::Catalog cat = tpcw::BuildCatalog();
+  sql::Workload w = tpcw::BuildWorkload();
+  auto selected = SelectViewsUnaware(w, cat, TpcwRows);
+  ASSERT_FALSE(selected.empty());
+  // The order-line-grain monsters must be rejected at the default budget.
+  for (const auto& v : selected) {
+    EXPECT_NE(v.relations.back(), "Order_line") << v.Name();
+  }
+}
+
+TEST(UnawareSelectorTest, EstimateRelationBytesScalesWithRows) {
+  sql::Catalog cat = tpcw::BuildCatalog();
+  const sql::RelationDef* item = cat.FindRelation("Item");
+  EXPECT_GT(EstimateRelationBytes(*item, 1000),
+            EstimateRelationBytes(*item, 100));
+  EXPECT_EQ(EstimateRelationBytes(*item, 0), 0.0);
+}
+
+TEST(UnawareSelectorTest, DeterministicSelection) {
+  sql::Catalog cat = tpcw::BuildCatalog();
+  sql::Workload w = tpcw::BuildWorkload();
+  auto a = SelectViewsUnaware(w, cat, TpcwRows);
+  auto b = SelectViewsUnaware(w, cat, TpcwRows);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Name(), b[i].Name());
+  }
+}
+
+}  // namespace
+}  // namespace synergy::core

@@ -1,0 +1,233 @@
+// §VI: view selection (marking procedure, Figure 6), query rewriting and
+// view-index recommendation.
+#include "synergy/view_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "company_fixture.h"
+#include "synergy/query_rewrite.h"
+#include "synergy/view_index.h"
+
+namespace synergy::core {
+namespace {
+
+class ViewSelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = testing::CompanyCatalog();
+    workload_ = testing::CompanyWorkload();
+    auto graph = SchemaGraph::FromCatalog(catalog_);
+    auto result = GenerateCandidateViews(graph, workload_, catalog_,
+                                         testing::CompanyRoots());
+    ASSERT_TRUE(result.ok());
+    trees_ = result->trees;
+  }
+  sql::Catalog catalog_;
+  sql::Workload workload_;
+  std::vector<RootedTree> trees_;
+};
+
+TEST_F(ViewSelectionTest, W1SelectsAddressEmployee) {
+  const auto& w1 = std::get<sql::SelectStatement>(workload_.Find("W1")->ast);
+  auto views = SelectViewsForQuery(w1, catalog_, trees_);
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].Name(), "Address-Employee");
+  EXPECT_EQ(views[0].root, "Address");
+}
+
+TEST_F(ViewSelectionTest, W2SelectsEmployeeWorksOnOnly) {
+  // The D->E join is not a tree edge (Employee lives in the Address tree),
+  // so only E-WO materializes.
+  const auto& w2 = std::get<sql::SelectStatement>(workload_.Find("W2")->ast);
+  auto views = SelectViewsForQuery(w2, catalog_, trees_);
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].Name(), "Employee-Works_On");
+}
+
+TEST_F(ViewSelectionTest, WorkloadSelectionDeduplicates) {
+  auto views = SelectViews(workload_, catalog_, trees_);
+  // W1 -> Address-Employee; W2, W3 -> Employee-Works_On (deduplicated).
+  ASSERT_EQ(views.size(), 2u);
+  std::set<std::string> names;
+  for (const auto& v : views) names.insert(v.Name());
+  EXPECT_TRUE(names.contains("Address-Employee"));
+  EXPECT_TRUE(names.contains("Employee-Works_On"));
+}
+
+TEST_F(ViewSelectionTest, PaperFigure6MarkingExample) {
+  // Rooted tree: R1->R2->R3->R4, R2->R5->R6; query joins R2-R3, R3-R4,
+  // R2-R5 (not materializable: R2 is start of two chains), R5-R6.
+  sql::Catalog cat;
+  auto add_rel = [&](const std::string& name, const std::string& pk,
+                     const std::string& fk_col, const std::string& fk_ref) {
+    sql::RelationDef def;
+    def.name = name;
+    def.columns = {{pk, DataType::kInt}};
+    def.primary_key = {pk};
+    if (!fk_ref.empty()) {
+      def.columns.push_back({fk_col, DataType::kInt});
+      def.foreign_keys = {{{fk_col}, fk_ref}};
+    }
+    ASSERT_TRUE(cat.AddRelation(def).ok());
+  };
+  add_rel("R1", "pk1", "", "");
+  add_rel("R2", "pk2", "fk2", "R1");
+  add_rel("R3", "pk3", "fk3", "R2");
+  add_rel("R4", "pk4", "fk4", "R3");
+  add_rel("R5", "pk5", "fk5", "R2");
+  add_rel("R6", "pk6", "fk6", "R5");
+  RootedTree tree("R1");
+  tree.AddEdge({"R1", "R2", {{"fk2"}, "R1"}, 0});
+  tree.AddEdge({"R2", "R3", {{"fk3"}, "R2"}, 0});
+  tree.AddEdge({"R3", "R4", {{"fk4"}, "R3"}, 0});
+  tree.AddEdge({"R2", "R5", {{"fk5"}, "R2"}, 0});
+  tree.AddEdge({"R5", "R6", {{"fk6"}, "R5"}, 0});
+
+  auto stmt = sql::MustParse(
+      "SELECT * FROM R2, R3, R4, R5, R6 "
+      "WHERE R2.pk2 = R3.fk3 and R3.pk3 = R4.fk4 and R2.pk2 = R5.fk5 "
+      "and R5.pk5 = R6.fk6");
+  auto views = SelectViewsForQuery(std::get<sql::SelectStatement>(stmt),
+                                   cat, {tree});
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].Name(), "R2-R3-R4");
+  EXPECT_EQ(views[1].Name(), "R5-R6");
+
+  // Figure 6(d): rewrite uses both views and keeps only the cross-view join.
+  auto rewrite = RewriteQuery(std::get<sql::SelectStatement>(stmt), cat, views);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_TRUE(rewrite->changed);
+  ASSERT_EQ(rewrite->stmt.from.size(), 2u);
+  EXPECT_EQ(rewrite->stmt.from[0].table, "R2-R3-R4");
+  EXPECT_EQ(rewrite->stmt.from[1].table, "R5-R6");
+  ASSERT_EQ(rewrite->stmt.where.size(), 1u);
+  EXPECT_EQ(rewrite->stmt.where[0].lhs.column.qualifier, "R2-R3-R4");
+  EXPECT_EQ(rewrite->stmt.where[0].rhs.column.qualifier, "R5-R6");
+}
+
+TEST_F(ViewSelectionTest, QueriesUsingRelationTwiceAreSkipped) {
+  sql::Workload w;
+  ASSERT_TRUE(w.Add("X",
+                    "SELECT * FROM Works_On as a, Works_On as b, Employee as e "
+                    "WHERE e.EID = a.WO_EID AND e.EID = b.WO_EID")
+                  .ok());
+  const auto& stmt = std::get<sql::SelectStatement>(w.statements[0].ast);
+  EXPECT_TRUE(SelectViewsForQuery(stmt, catalog_, trees_).empty());
+}
+
+TEST_F(ViewSelectionTest, MaterializeViewDefBuildsStorage) {
+  auto views = SelectViews(workload_, catalog_, trees_);
+  for (const SelectedView& view : views) {
+    auto defs = MaterializeViewDef(view, catalog_);
+    ASSERT_TRUE(defs.ok());
+    const auto& [vdef, storage] = *defs;
+    EXPECT_EQ(vdef.name, storage.name);
+    // PK of the view = PK of the last relation.
+    const sql::RelationDef* last = catalog_.FindRelation(view.relations.back());
+    EXPECT_EQ(storage.primary_key, last->primary_key);
+    // Attribute union.
+    size_t expected_cols = 0;
+    for (const std::string& rel : view.relations) {
+      expected_cols += catalog_.FindRelation(rel)->columns.size();
+    }
+    EXPECT_EQ(storage.columns.size(), expected_cols);
+  }
+}
+
+TEST_F(ViewSelectionTest, RewriteW1UsesView) {
+  auto views = SelectViews(workload_, catalog_, trees_);
+  const auto& w1 = std::get<sql::SelectStatement>(workload_.Find("W1")->ast);
+  auto rewrite = RewriteQuery(w1, catalog_, views);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_TRUE(rewrite->changed);
+  ASSERT_EQ(rewrite->stmt.from.size(), 1u);
+  EXPECT_EQ(rewrite->stmt.from[0].table, "Address-Employee");
+  // Join condition dropped; only the EID filter remains.
+  ASSERT_EQ(rewrite->stmt.where.size(), 1u);
+  EXPECT_EQ(rewrite->stmt.where[0].lhs.column.column, "EID");
+}
+
+TEST_F(ViewSelectionTest, RewriteW2KeepsCrossViewJoin) {
+  auto views = SelectViews(workload_, catalog_, trees_);
+  const auto& w2 = std::get<sql::SelectStatement>(workload_.Find("W2")->ast);
+  auto rewrite = RewriteQuery(w2, catalog_, views);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_TRUE(rewrite->changed);
+  // FROM: Department + Employee-Works_On.
+  ASSERT_EQ(rewrite->stmt.from.size(), 2u);
+  EXPECT_EQ(rewrite->stmt.from[0].table, "Department");
+  EXPECT_EQ(rewrite->stmt.from[1].table, "Employee-Works_On");
+  // The D.DNo = E.E_DNo join survives; E.EID = WO.WO_EID is internal.
+  size_t joins = 0;
+  for (const auto& p : rewrite->stmt.where) {
+    if (p.IsEquiJoin()) ++joins;
+  }
+  EXPECT_EQ(joins, 1u);
+}
+
+TEST_F(ViewSelectionTest, RewriteWorkloadInPlace) {
+  sql::Workload w = workload_;
+  // Register views in a catalog copy.
+  sql::Catalog cat = testing::CompanyCatalog();
+  for (const SelectedView& view : SelectViews(w, cat, trees_)) {
+    auto defs = MaterializeViewDef(view, cat);
+    ASSERT_TRUE(defs.ok());
+    ASSERT_TRUE(cat.AddView(defs->first, defs->second).ok());
+  }
+  auto rewritten = RewriteWorkload(&w, cat, trees_);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten->size(), 3u);  // W1, W2, W3 all rewritten
+  // Re-parse all rewritten SQL to ensure it is valid.
+  for (const auto& stmt : w.statements) {
+    EXPECT_TRUE(sql::Parse(stmt.sql).ok()) << stmt.sql;
+  }
+}
+
+TEST_F(ViewSelectionTest, ViewIndexRecommendation) {
+  // Build catalog with views + rewritten workload, then check W3's filter
+  // on Hours yields a view-index (the view is keyed on WO's PK).
+  sql::Catalog cat = testing::CompanyCatalog();
+  sql::Workload w = workload_;
+  for (const SelectedView& view : SelectViews(w, cat, trees_)) {
+    auto defs = MaterializeViewDef(view, cat);
+    ASSERT_TRUE(defs.ok());
+    ASSERT_TRUE(cat.AddView(defs->first, defs->second).ok());
+  }
+  ASSERT_TRUE(RewriteWorkload(&w, cat, trees_).ok());
+  auto indexes = RecommendViewIndexes(w, cat);
+  bool found_hours = false;
+  for (const auto& ix : indexes) {
+    if (ix.relation == "Employee-Works_On" &&
+        ix.indexed_columns == std::vector<std::string>{"Hours"}) {
+      found_hours = true;
+      // Covered index: must cover every view column.
+      EXPECT_EQ(ix.covered_columns.size(),
+                cat.FindRelation("Employee-Works_On")->columns.size());
+    }
+  }
+  EXPECT_TRUE(found_hours);
+}
+
+TEST_F(ViewSelectionTest, MaintenanceIndexRecommendation) {
+  sql::Catalog cat = testing::CompanyCatalog();
+  sql::Workload w = workload_;
+  for (const SelectedView& view : SelectViews(w, cat, trees_)) {
+    auto defs = MaterializeViewDef(view, cat);
+    ASSERT_TRUE(defs.ok());
+    ASSERT_TRUE(cat.AddView(defs->first, defs->second).ok());
+  }
+  // Add an UPDATE on Employee (mid-path member of both views).
+  ASSERT_TRUE(w.Add("U1", "UPDATE Employee SET EName = ? WHERE EID = ?").ok());
+  auto indexes = RecommendMaintenanceIndexes(w, cat);
+  bool found = false;
+  for (const auto& ix : indexes) {
+    if (ix.relation == "Employee-Works_On" &&
+        ix.indexed_columns == std::vector<std::string>{"EID"}) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace synergy::core

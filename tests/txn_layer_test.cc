@@ -1,0 +1,161 @@
+#include "txn/txn_layer.h"
+
+#include <gtest/gtest.h>
+
+namespace synergy::txn {
+namespace {
+
+class TxnLayerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cluster_.CreateTable({.name = "data"}).ok());
+    locks_ = std::make_unique<LockManager>(&cluster_);
+    ASSERT_TRUE(locks_->CreateLockTable("Root").ok());
+    layer_ = std::make_unique<TxnLayer>(&cluster_, locks_.get(), 2);
+  }
+
+  WriteBody PutBody(const std::string& key, const std::string& value) {
+    return [this, key, value](hbase::Session& s) {
+      return cluster_.Put(s, "data", key, {{"v", value}});
+    };
+  }
+
+  std::string ReadData(const std::string& key) {
+    hbase::Session s(&cluster_);
+    auto row = cluster_.Get(s, "data", key);
+    if (!row.ok()) return "<missing>";
+    return row->columns.at("v");
+  }
+
+  hbase::Cluster cluster_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<TxnLayer> layer_;
+};
+
+TEST_F(TxnLayerTest, WriteGoesThroughWalAndCommits) {
+  hbase::Session s(&cluster_);
+  auto id = layer_->SubmitWrite(s, "put k1 v1",
+                                LockSpec{"Root", "rk"}, PutBody("k1", "v1"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(ReadData("k1"), "v1");
+  // Lock released after commit.
+  auto held = locks_->IsHeld(s, "Root", "rk");
+  ASSERT_TRUE(held.ok());
+  EXPECT_FALSE(*held);
+}
+
+TEST_F(TxnLayerTest, WritesWithoutLockSpecAlsoWork) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(
+      layer_->SubmitWrite(s, "put k2 v2", std::nullopt, PutBody("k2", "v2"))
+          .ok());
+  EXPECT_EQ(ReadData("k2"), "v2");
+}
+
+TEST_F(TxnLayerTest, RoundRobinAcrossSlaves) {
+  hbase::Session s(&cluster_);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(layer_
+                    ->SubmitWrite(s, "w" + std::to_string(i), std::nullopt,
+                                  PutBody("k" + std::to_string(i), "v"))
+                    .ok());
+  }
+  EXPECT_GE(layer_->slave(0)->wal()->size() +
+                layer_->slave(1)->wal()->size(),
+            4u);
+  EXPECT_GT(layer_->slave(0)->wal()->size(), 0u);
+  EXPECT_GT(layer_->slave(1)->wal()->size(), 0u);
+}
+
+TEST_F(TxnLayerTest, CrashLeavesLockHeldUntilRecovery) {
+  hbase::Session s(&cluster_);
+  layer_->slave(0)->InjectCrashBeforeExecute();
+  layer_->slave(1)->InjectCrashBeforeExecute();
+  // One of the two slaves takes this write and crashes.
+  auto result = layer_->SubmitWrite(s, "put kc vc", LockSpec{"Root", "rk"},
+                                    PutBody("kc", "vc"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  auto held = locks_->IsHeld(s, "Root", "rk");
+  ASSERT_TRUE(held.ok());
+  EXPECT_TRUE(*held);  // read-committed preserved during failure (§VIII-C)
+  EXPECT_EQ(ReadData("kc"), "<missing>");
+
+  // Master failover: replay the WAL suffix, then release the lock.
+  ASSERT_TRUE(layer_
+                  ->DetectAndRecover(
+                      s,
+                      [&](hbase::Session& rs, const std::string& payload) {
+                        EXPECT_EQ(payload, "put kc vc");
+                        return cluster_.Put(rs, "data", "kc", {{"v", "vc"}});
+                      },
+                      [](const std::string&) {
+                        return std::optional<LockSpec>(LockSpec{"Root", "rk"});
+                      })
+                  .ok());
+  EXPECT_EQ(ReadData("kc"), "vc");
+  held = locks_->IsHeld(s, "Root", "rk");
+  ASSERT_TRUE(held.ok());
+  EXPECT_FALSE(*held);
+}
+
+TEST_F(TxnLayerTest, RecoveredLayerAcceptsNewWrites) {
+  hbase::Session s(&cluster_);
+  layer_->slave(0)->InjectCrashBeforeExecute();
+  layer_->slave(1)->InjectCrashBeforeExecute();
+  (void)layer_->SubmitWrite(s, "w", std::nullopt, PutBody("k", "v"));
+  (void)layer_->SubmitWrite(s, "w2", std::nullopt, PutBody("k2", "v2"));
+  ASSERT_TRUE(layer_
+                  ->DetectAndRecover(
+                      s,
+                      [&](hbase::Session& rs, const std::string&) {
+                        return cluster_.Put(rs, "data", "replayed",
+                                            {{"v", "1"}});
+                      },
+                      nullptr)
+                  .ok());
+  ASSERT_TRUE(
+      layer_->SubmitWrite(s, "w3", std::nullopt, PutBody("k3", "v3")).ok());
+  EXPECT_EQ(ReadData("k3"), "v3");
+}
+
+TEST_F(TxnLayerTest, AllSlavesDownIsUnavailable) {
+  hbase::Session s(&cluster_);
+  layer_->slave(0)->InjectCrashBeforeExecute();
+  layer_->slave(1)->InjectCrashBeforeExecute();
+  (void)layer_->SubmitWrite(s, "a", std::nullopt, PutBody("a", "1"));
+  (void)layer_->SubmitWrite(s, "b", std::nullopt, PutBody("b", "1"));
+  auto r = layer_->SubmitWrite(s, "c", std::nullopt, PutBody("c", "1"));
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(TxnLayerTest, WalRecordsCommitState) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(
+      layer_->SubmitWrite(s, "ok-write", std::nullopt, PutBody("k", "v")).ok());
+  size_t committed = 0, total = 0;
+  for (int i = 0; i < layer_->num_slaves(); ++i) {
+    for (const WalEntry& e : layer_->slave(i)->wal()->AllEntries()) {
+      ++total;
+      if (e.committed) ++committed;
+    }
+  }
+  EXPECT_EQ(total, 1u);
+  EXPECT_EQ(committed, 1u);
+}
+
+TEST_F(TxnLayerTest, BodyFailurePropagates) {
+  hbase::Session s(&cluster_);
+  auto r = layer_->SubmitWrite(s, "bad", LockSpec{"Root", "rk"},
+                               [](hbase::Session&) {
+                                 return Status::InvalidArgument("boom");
+                               });
+  EXPECT_FALSE(r.ok());
+  // The lock guard still released the lock.
+  auto held = locks_->IsHeld(s, "Root", "rk");
+  ASSERT_TRUE(held.ok());
+  EXPECT_FALSE(*held);
+}
+
+}  // namespace
+}  // namespace synergy::txn

@@ -1,0 +1,132 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace synergy::txn {
+namespace {
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    locks_ = std::make_unique<LockManager>(&cluster_);
+    ASSERT_TRUE(locks_->CreateLockTable("Customer").ok());
+  }
+  hbase::Cluster cluster_;
+  std::unique_ptr<LockManager> locks_;
+};
+
+TEST_F(LockManagerTest, AcquireReleaseCycle) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(locks_->CreateLockEntry(s, "Customer", "k1").ok());
+  ASSERT_TRUE(locks_->Acquire(s, "Customer", "k1").ok());
+  auto held = locks_->IsHeld(s, "Customer", "k1");
+  ASSERT_TRUE(held.ok());
+  EXPECT_TRUE(*held);
+  ASSERT_TRUE(locks_->Release(s, "Customer", "k1").ok());
+  held = locks_->IsHeld(s, "Customer", "k1");
+  ASSERT_TRUE(held.ok());
+  EXPECT_FALSE(*held);
+}
+
+TEST_F(LockManagerTest, AcquireWithoutEntryCreatesIt) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(locks_->Acquire(s, "Customer", "fresh").ok());
+  auto held = locks_->IsHeld(s, "Customer", "fresh");
+  ASSERT_TRUE(held.ok());
+  EXPECT_TRUE(*held);
+}
+
+TEST_F(LockManagerTest, SecondAcquireFailsWhileHeld) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(locks_->Acquire(s, "Customer", "k").ok());
+  auto attempt = locks_->TryAcquire(s, "Customer", "k");
+  ASSERT_TRUE(attempt.ok());
+  EXPECT_FALSE(*attempt);
+}
+
+TEST_F(LockManagerTest, AcquireTimesOutEventually) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(locks_->Acquire(s, "Customer", "k").ok());
+  Status st = locks_->Acquire(s, "Customer", "k", /*max_attempts=*/3);
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+}
+
+TEST_F(LockManagerTest, ReleaseWithoutHoldFails) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(locks_->CreateLockEntry(s, "Customer", "k").ok());
+  EXPECT_EQ(locks_->Release(s, "Customer", "k").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LockManagerTest, DifferentKeysAreIndependent) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(locks_->Acquire(s, "Customer", "a").ok());
+  ASSERT_TRUE(locks_->Acquire(s, "Customer", "b").ok());
+}
+
+TEST_F(LockManagerTest, LockGuardReleasesOnDestruction) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(locks_->Acquire(s, "Customer", "k").ok());
+  {
+    LockGuard guard(locks_.get(), &s, "Customer", "k");
+  }
+  auto held = locks_->IsHeld(s, "Customer", "k");
+  ASSERT_TRUE(held.ok());
+  EXPECT_FALSE(*held);
+}
+
+TEST_F(LockManagerTest, LockGuardLeakKeepsLockHeld) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(locks_->Acquire(s, "Customer", "k").ok());
+  {
+    LockGuard guard(locks_.get(), &s, "Customer", "k");
+    guard.Leak();
+  }
+  auto held = locks_->IsHeld(s, "Customer", "k");
+  ASSERT_TRUE(held.ok());
+  EXPECT_TRUE(*held);
+}
+
+TEST_F(LockManagerTest, MutualExclusionUnderContention) {
+  // Many threads increment a shared counter under the same root lock;
+  // the lock must serialize the read-modify-write cycles.
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 25;
+  std::atomic<int> unsafe_counter{0};
+  int protected_counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      hbase::Session s(&cluster_);
+      for (int i = 0; i < kIncrements; ++i) {
+        ASSERT_TRUE(locks_->Acquire(s, "Customer", "shared", 100000).ok());
+        const int seen = protected_counter;
+        std::this_thread::yield();  // widen the race window
+        protected_counter = seen + 1;
+        unsafe_counter.fetch_add(1);
+        ASSERT_TRUE(locks_->Release(s, "Customer", "shared").ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(protected_counter, kThreads * kIncrements);
+  EXPECT_EQ(unsafe_counter.load(), kThreads * kIncrements);
+}
+
+TEST_F(LockManagerTest, VirtualCostChargedPerLockOp) {
+  hbase::Session s(&cluster_);
+  ASSERT_TRUE(locks_->CreateLockEntry(s, "Customer", "k").ok());
+  const double before = s.meter().micros();
+  ASSERT_TRUE(locks_->Acquire(s, "Customer", "k").ok());
+  ASSERT_TRUE(locks_->Release(s, "Customer", "k").ok());
+  const double per_pair = s.meter().micros() - before;
+  // One acquire + one release = two CheckAndPut RPCs.
+  EXPECT_NEAR(per_pair, 2 * cluster_.cost_model().lock_rpc_us,
+              cluster_.cost_model().lock_rpc_us);
+}
+
+}  // namespace
+}  // namespace synergy::txn
