@@ -1,0 +1,16 @@
+# Asserts every registered gtest binary runs `--gtest_list_tests` cleanly and
+# reports at least one test. Invoked by the build_sanity_list_tests ctest entry.
+if(NOT TEST_BINARIES)
+  message(FATAL_ERROR "No test binaries were registered")
+endif()
+foreach(bin ${TEST_BINARIES})
+  execute_process(COMMAND ${bin} --gtest_list_tests
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${bin} --gtest_list_tests failed (rc=${rc}): ${err}")
+  endif()
+  if(NOT out MATCHES "\\.")
+    message(FATAL_ERROR "${bin} lists no tests:\n${out}")
+  endif()
+endforeach()
+message(STATUS "All test binaries list tests cleanly")

@@ -11,20 +11,17 @@ using namespace synergy;
 int main() {
   // 1. Describe the relational schema (relations, PKs, FKs).
   sql::Catalog catalog;
-  if (!catalog
-           .AddRelation({.name = "Blog",
-                         .columns = {{"b_id", DataType::kInt},
-                                     {"b_title", DataType::kString}},
-                         .primary_key = {"b_id"}})
-           .ok() ||
-      !catalog
-           .AddRelation({.name = "Post",
-                         .columns = {{"p_id", DataType::kInt},
-                                     {"p_b_id", DataType::kInt},
-                                     {"p_text", DataType::kString}},
-                         .primary_key = {"p_id"},
-                         .foreign_keys = {{{"p_b_id"}, "Blog"}}})
-           .ok()) {
+  const sql::RelationDef blog = {.name = "Blog",
+                                 .columns = {{"b_id", DataType::kInt},
+                                             {"b_title", DataType::kString}},
+                                 .primary_key = {"b_id"}};
+  const sql::RelationDef post = {.name = "Post",
+                                 .columns = {{"p_id", DataType::kInt},
+                                             {"p_b_id", DataType::kInt},
+                                             {"p_text", DataType::kString}},
+                                 .primary_key = {"p_id"},
+                                 .foreign_keys = {{{"p_b_id"}, "Blog"}}};
+  if (!catalog.AddRelation(blog).ok() || !catalog.AddRelation(post).ok()) {
     return 1;
   }
 

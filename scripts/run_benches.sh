@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs every paper benchmark and saves its output under bench-results/.
+#
+# Usage:
+#   scripts/run_benches.sh [build_dir]
+#
+# Scale knobs (see docs/BENCHMARKS.md):
+#   SYNERGY_TPCW_CUSTOMERS  TPC-W scale (default: each bench's own default)
+#   SYNERGY_BENCH_REPS      repetitions per statement (paper: 10)
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="bench-results"
+
+if [[ ! -d "$build_dir" ]]; then
+  echo "error: build dir '$build_dir' not found; run cmake first" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+shopt -s nullglob
+benches=("$build_dir"/bench_*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries in '$build_dir'" >&2
+  exit 1
+fi
+
+for bench in "${benches[@]}"; do
+  name="$(basename "$bench")"
+  echo "=== $name"
+  "$bench" | tee "$out_dir/$name.txt"
+  echo
+done
+echo "Results written to $out_dir/"

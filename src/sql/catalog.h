@@ -31,8 +31,10 @@ struct ForeignKey {
 struct RelationDef {
   std::string name;
   std::vector<Column> columns;
-  std::vector<std::string> primary_key;
-  std::vector<ForeignKey> foreign_keys;
+  // Defaulted so designated initializers may omit them (keeps aggregate
+  // construction clean under -Wextra's -Wmissing-field-initializers).
+  std::vector<std::string> primary_key = {};
+  std::vector<ForeignKey> foreign_keys = {};
 
   bool HasColumn(const std::string& col) const;
   std::optional<DataType> ColumnType(const std::string& col) const;
@@ -53,7 +55,7 @@ struct IndexDef {
   /// Xtuple(R): the attributes the index is indexed upon.
   std::vector<std::string> indexed_columns;
   /// X(R): all covered attributes (includes indexed columns and the PK).
-  std::vector<std::string> covered_columns;
+  std::vector<std::string> covered_columns = {};
   /// True when the indexed tuple uniquely identifies a row (e.g. c_uname).
   bool unique = false;
   IndexCardinality cardinality = IndexCardinality::kUnknown;
