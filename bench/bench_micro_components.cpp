@@ -85,6 +85,160 @@ void BM_SqlParseJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_SqlParseJoin);
 
+// --- executor hot-path benchmarks -----------------------------------------
+// These three guard the per-row cost of the scan -> join -> sink pipeline
+// (rows/sec is reported via items_per_second). scripts/run_benches.sh
+// extracts them into bench-results/BENCH_exec_hotpath.json.
+
+/// Client hash join: build on 2000 customers, probe 4000 orders.
+void BM_ExecutorHashJoin(benchmark::State& state) {
+  sql::Catalog catalog;
+  if (!catalog
+           .AddRelation({.name = "C",
+                         .columns = {{"c_id", DataType::kInt},
+                                     {"c_name", DataType::kString},
+                                     {"c_city", DataType::kString}},
+                         .primary_key = {"c_id"}})
+           .ok() ||
+      !catalog
+           .AddRelation({.name = "O",
+                         .columns = {{"o_id", DataType::kInt},
+                                     {"o_c_id", DataType::kInt},
+                                     {"o_total", DataType::kDouble}},
+                         .primary_key = {"o_id"}})
+           .ok()) {
+    state.SkipWithError("catalog");
+    return;
+  }
+  hbase::Cluster cluster;
+  exec::TableAdapter adapter(&cluster, &catalog);
+  if (!adapter.CreateStorage("C").ok() || !adapter.CreateStorage("O").ok()) {
+    state.SkipWithError("storage");
+    return;
+  }
+  constexpr int kCustomers = 2000;
+  constexpr int kOrders = 4000;
+  hbase::Session load(&cluster);
+  for (int i = 0; i < kCustomers; ++i) {
+    (void)adapter.Insert(load, "C",
+                         {{"c_id", Value(i)},
+                          {"c_name", Value("name" + std::to_string(i))},
+                          {"c_city", Value(i % 2 ? "NYC" : "SF")}});
+  }
+  for (int i = 0; i < kOrders; ++i) {
+    (void)adapter.Insert(load, "O",
+                         {{"o_id", Value(i)},
+                          {"o_c_id", Value(i % kCustomers)},
+                          {"o_total", Value(i * 1.25)}});
+  }
+  exec::Executor executor(&adapter);
+  const sql::Statement stmt = sql::MustParse(
+      "SELECT c_name, o_total FROM C as c, O as o WHERE c.c_id = o.o_c_id");
+  const auto& sel = std::get<sql::SelectStatement>(stmt);
+  exec::ExecOptions opts;
+  opts.collect_rows = false;
+  opts.force_hash_join = true;
+  hbase::Session s(&cluster);
+  for (auto _ : state) {
+    auto result = executor.ExecuteSelect(s, sel, {}, opts);
+    if (!result.ok() || result->row_count != kOrders) {
+      state.SkipWithError("join result");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * (kCustomers + kOrders));
+}
+BENCHMARK(BM_ExecutorHashJoin);
+
+/// Hash aggregation: 8192 rows into 64 groups with COUNT/SUM/MIN.
+void BM_ExecutorAgg(benchmark::State& state) {
+  sql::Catalog catalog;
+  if (!catalog
+           .AddRelation({.name = "T",
+                         .columns = {{"id", DataType::kInt},
+                                     {"g", DataType::kString},
+                                     {"v", DataType::kDouble}},
+                         .primary_key = {"id"}})
+           .ok()) {
+    state.SkipWithError("catalog");
+    return;
+  }
+  hbase::Cluster cluster;
+  exec::TableAdapter adapter(&cluster, &catalog);
+  if (!adapter.CreateStorage("T").ok()) {
+    state.SkipWithError("storage");
+    return;
+  }
+  constexpr int kRows = 8192;
+  hbase::Session load(&cluster);
+  for (int i = 0; i < kRows; ++i) {
+    (void)adapter.Insert(load, "T",
+                         {{"id", Value(i)},
+                          {"g", Value("grp" + std::to_string(i % 64))},
+                          {"v", Value(i * 0.5)}});
+  }
+  exec::Executor executor(&adapter);
+  const sql::Statement stmt = sql::MustParse(
+      "SELECT g, COUNT(*) as n, SUM(v) as sv, MIN(v) as mv FROM T GROUP BY g");
+  const auto& sel = std::get<sql::SelectStatement>(stmt);
+  exec::ExecOptions opts;
+  opts.collect_rows = false;
+  hbase::Session s(&cluster);
+  for (auto _ : state) {
+    auto result = executor.ExecuteSelect(s, sel, {}, opts);
+    if (!result.ok() || result->row_count != 64) {
+      state.SkipWithError("agg result");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_ExecutorAgg);
+
+/// ORDER BY + LIMIT 10 over an 8192-row scan (top-N path).
+void BM_ExecutorTopN(benchmark::State& state) {
+  sql::Catalog catalog;
+  if (!catalog
+           .AddRelation({.name = "T",
+                         .columns = {{"id", DataType::kInt},
+                                     {"v", DataType::kDouble}},
+                         .primary_key = {"id"}})
+           .ok()) {
+    state.SkipWithError("catalog");
+    return;
+  }
+  hbase::Cluster cluster;
+  exec::TableAdapter adapter(&cluster, &catalog);
+  if (!adapter.CreateStorage("T").ok()) {
+    state.SkipWithError("storage");
+    return;
+  }
+  constexpr int kRows = 8192;
+  hbase::Session load(&cluster);
+  for (int i = 0; i < kRows; ++i) {
+    (void)adapter.Insert(load, "T",
+                         {{"id", Value(i)},
+                          {"v", Value(((i * 2654435761u) % 100003) * 0.1)}});
+  }
+  exec::Executor executor(&adapter);
+  const sql::Statement stmt =
+      sql::MustParse("SELECT id, v FROM T ORDER BY v DESC LIMIT 10");
+  const auto& sel = std::get<sql::SelectStatement>(stmt);
+  hbase::Session s(&cluster);
+  for (auto _ : state) {
+    auto result = executor.ExecuteSelect(s, sel, {});
+    if (!result.ok() || result->row_count != 10) {
+      state.SkipWithError("topn result");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_ExecutorTopN);
+
 void BM_ExecutorPointLookup(benchmark::State& state) {
   sql::Catalog catalog;
   if (!catalog

@@ -7,6 +7,11 @@
 # Scale knobs (see docs/BENCHMARKS.md):
 #   SYNERGY_TPCW_CUSTOMERS  TPC-W scale (default: each bench's own default)
 #   SYNERGY_BENCH_REPS      repetitions per statement (paper: 10)
+#
+# Besides the per-bench .txt transcripts, this appends one machine-readable
+# datapoint per invocation to bench-results/BENCH_exec_hotpath.json (rows/sec
+# for the executor hash join, aggregation, top-N and the key codec), giving
+# the repo a perf trajectory across PRs.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -18,6 +23,9 @@ if [[ ! -d "$build_dir" ]]; then
 fi
 
 mkdir -p "$out_dir"
+# Stale JSON from a previous invocation must not be re-appended to the
+# trajectory under this run's git rev/label.
+rm -f "$out_dir/bench_micro_components.json"
 shopt -s nullglob
 benches=("$build_dir"/bench_*)
 if [[ ${#benches[@]} -eq 0 ]]; then
@@ -28,7 +36,74 @@ fi
 for bench in "${benches[@]}"; do
   name="$(basename "$bench")"
   echo "=== $name"
-  "$bench" | tee "$out_dir/$name.txt"
+  if [[ "$name" == "bench_micro_components" ]]; then
+    # Tee the human-readable table AND capture the structured JSON.
+    "$bench" --benchmark_out="$out_dir/$name.json" \
+             --benchmark_out_format=json | tee "$out_dir/$name.txt"
+  else
+    "$bench" | tee "$out_dir/$name.txt"
+  fi
   echo
 done
+
+# --------------------------------------------------------------------------
+# Fold the micro-component numbers into BENCH_exec_hotpath.json: an array of
+# runs, one appended per invocation, each recording rows/sec (items_per_second
+# where the benchmark sets it) and ns/op for the executor hot-path and codec
+# benchmarks. This file is committed so the perf trajectory survives in git.
+# --------------------------------------------------------------------------
+if [[ -f "$out_dir/bench_micro_components.json" ]]; then
+  git_rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  # A dirty tree (incl. staged/untracked files) means the measured code is
+  # not the commit's code.
+  [[ -z "$(git status --porcelain 2>/dev/null)" ]] || git_rev="${git_rev}-dirty"
+  python3 - "$out_dir" "$git_rev" <<'PYEOF'
+import json, sys, datetime, os
+
+out_dir, git_rev = sys.argv[1], sys.argv[2]
+src = os.path.join(out_dir, "bench_micro_components.json")
+dst = os.path.join(out_dir, "BENCH_exec_hotpath.json")
+
+with open(src) as f:
+    raw = json.load(f)
+
+keep = ("BM_ExecutorHashJoin", "BM_ExecutorAgg", "BM_ExecutorTopN",
+        "BM_ExecutorPointLookup", "BM_CodecEncodeKey", "BM_CodecDecodeKey")
+metrics = {}
+for b in raw.get("benchmarks", []):
+    name = b.get("name", "")
+    if name not in keep:
+        continue
+    entry = {"ns_per_op": round(b["real_time"], 2)}
+    if "items_per_second" in b:
+        entry["rows_per_sec"] = round(b["items_per_second"], 1)
+    metrics[name] = entry
+
+run = {
+    "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"),
+    "git_rev": git_rev,
+    "label": os.environ.get("SYNERGY_BENCH_LABEL", ""),
+    "metrics": metrics,
+}
+
+doc = {"description":
+       "Executor hot-path throughput trajectory (see docs/BENCHMARKS.md)",
+       "runs": []}
+if os.path.exists(dst):
+    try:
+        with open(dst) as f:
+            doc = json.load(f)
+    except json.JSONDecodeError:
+        pass
+doc.setdefault("runs", []).append(run)
+with open(dst, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"Appended hot-path datapoint to {dst}:")
+for name, m in metrics.items():
+    rps = f"  {m['rows_per_sec']:>14,.0f} rows/s" if "rows_per_sec" in m else ""
+    print(f"  {name:<24} {m['ns_per_op']:>12,.0f} ns/op{rps}")
+PYEOF
+fi
 echo "Results written to $out_dir/"

@@ -1,25 +1,34 @@
 #include "common/codec.h"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 namespace synergy::codec {
 namespace {
 
 constexpr char kTypeNull = 0x00;
 
-void EncodeUint64BigEndian(uint64_t u, std::string* out) {
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    out->push_back(static_cast<char>((u >> shift) & 0xFF));
+inline uint64_t ToBigEndian(uint64_t u) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return __builtin_bswap64(u);
+  } else {
+    return u;
   }
 }
 
-uint64_t DecodeUint64BigEndian(std::string_view in) {
-  uint64_t u = 0;
-  for (int i = 0; i < 8; ++i) {
-    u = (u << 8) | static_cast<uint8_t>(in[i]);
-  }
-  return u;
+inline void EncodeUint64BigEndian(uint64_t u, std::string* out) {
+  char buf[8];
+  u = ToBigEndian(u);
+  std::memcpy(buf, &u, 8);
+  out->append(buf, 8);
+}
+
+inline uint64_t DecodeUint64BigEndian(std::string_view in) {
+  uint64_t u;
+  std::memcpy(&u, in.data(), 8);
+  return ToBigEndian(u);
 }
 
 }  // namespace
@@ -39,7 +48,15 @@ void EncodeValue(const Value& v, std::string* out) {
     }
     case DataType::kDouble: {
       out->push_back(0x02);
-      uint64_t bits = std::bit_cast<uint64_t>(v.as_double());
+      double d = v.as_double();
+      if (d == 0.0) d = 0.0;  // canonicalize -0.0: it compares equal to +0.0
+      if (std::isnan(d)) {
+        // One canonical NaN: Value::Compare treats all NaNs as equal and
+        // orders them after every non-NaN, which positive quiet-NaN bits
+        // preserve under the sign-flip encoding below.
+        d = std::numeric_limits<double>::quiet_NaN();
+      }
+      uint64_t bits = std::bit_cast<uint64_t>(d);
       // Negative doubles: flip all bits; non-negative: flip sign bit only.
       if (bits & (uint64_t{1} << 63)) {
         bits = ~bits;
@@ -51,16 +68,24 @@ void EncodeValue(const Value& v, std::string* out) {
     }
     case DataType::kString: {
       out->push_back(0x03);
-      for (const char c : v.as_string()) {
-        if (c == '\0') {
-          out->push_back('\0');
-          out->push_back('\xFF');
-        } else {
-          out->push_back(c);
+      // Bulk-append runs between NULs; the common case (no NUL bytes) is a
+      // single memcpy instead of a per-character loop.
+      const std::string& s = v.as_string();
+      const char* p = s.data();
+      size_t left = s.size();
+      while (left > 0) {
+        const char* nul = static_cast<const char*>(std::memchr(p, '\0', left));
+        if (nul == nullptr) {
+          out->append(p, left);
+          break;
         }
+        const size_t run = static_cast<size_t>(nul - p);
+        out->append(p, run);
+        out->append("\0\xFF", 2);  // escaped NUL
+        p = nul + 1;
+        left -= run + 1;
       }
-      out->push_back('\0');
-      out->push_back(0x01);
+      out->append("\0\x01", 2);  // terminator
       return;
     }
   }
@@ -71,6 +96,11 @@ std::string EncodeKey(const std::vector<Value>& values) {
   out.reserve(values.size() * 10);
   for (const Value& v : values) EncodeValue(v, &out);
   return out;
+}
+
+void EncodeKeyInto(const std::vector<Value>& values, std::string* out) {
+  out->clear();
+  for (const Value& v : values) EncodeValue(v, out);
 }
 
 StatusOr<Value> DecodeValue(std::string_view* in, DataType type) {
@@ -109,17 +139,22 @@ StatusOr<Value> DecodeValue(std::string_view* in, DataType type) {
     case DataType::kString: {
       if (tag != 0x03) return Status::InvalidArgument("bad string encoding");
       std::string s;
+      // Copy whole runs up to the next NUL; each NUL is either an escaped
+      // NUL byte (0x00 0xFF) or the terminator (0x00 0x01).
       while (true) {
-        if (in->size() < 1) return Status::InvalidArgument("unterminated string");
-        const char c = (*in)[0];
-        in->remove_prefix(1);
-        if (c != '\0') {
-          s.push_back(c);
-          continue;
-        }
         if (in->empty()) return Status::InvalidArgument("unterminated string");
-        const char next = (*in)[0];
-        in->remove_prefix(1);
+        const void* nul = std::memchr(in->data(), '\0', in->size());
+        if (nul == nullptr) {
+          return Status::InvalidArgument("unterminated string");
+        }
+        const size_t run =
+            static_cast<size_t>(static_cast<const char*>(nul) - in->data());
+        s.append(in->data(), run);
+        if (run + 1 >= in->size()) {
+          return Status::InvalidArgument("unterminated string");
+        }
+        const char next = (*in)[run + 1];
+        in->remove_prefix(run + 2);
         if (next == 0x01) break;           // terminator
         if (next == '\xFF') {
           s.push_back('\0');               // escaped NUL

@@ -25,6 +25,10 @@ void EncodeValue(const Value& v, std::string* out);
 /// Encodes a composite key from `values`; byte order == tuple order.
 std::string EncodeKey(const std::vector<Value>& values);
 
+/// Like EncodeKey but reuses `out`'s capacity (cleared first). For hot paths
+/// that hold one scratch key buffer per operator.
+void EncodeKeyInto(const std::vector<Value>& values, std::string* out);
+
 /// Decodes one value from `in` (advancing it). The caller supplies the
 /// expected type, which must match what was encoded.
 StatusOr<Value> DecodeValue(std::string_view* in, DataType type);

@@ -1,9 +1,31 @@
 #include "common/value.h"
 
+#include <bit>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <sstream>
+#include <string_view>
 
 namespace synergy {
+
+namespace {
+
+/// Exact three-way comparison of an int64 against a double — no precision
+/// loss for integers beyond 2^53 (casting either side would make values
+/// that differ compare equal, breaking the total order the executor's sort
+/// comparators and ValueKey hash tables rely on).
+int CompareIntDouble(int64_t x, double d) {
+  if (std::isnan(d)) return -1;  // numbers sort before NaN
+  if (d >= 9223372036854775808.0) return -1;
+  if (d < -9223372036854775808.0) return 1;
+  const double fl = std::floor(d);           // exact: |d| < 2^63
+  const int64_t di = static_cast<int64_t>(fl);  // in range by the guards
+  if (x != di) return x < di ? -1 : 1;
+  return d > fl ? -1 : 0;  // x == floor(d): a fraction puts d above x
+}
+
+}  // namespace
 
 const char* DataTypeName(DataType t) {
   switch (t) {
@@ -29,8 +51,17 @@ int Value::Compare(const Value& other) const {
       const int64_t x = as_int(), y = other.as_int();
       return x < y ? -1 : (x > y ? 1 : 0);
     }
+    if (a == DataType::kInt) return CompareIntDouble(as_int(), other.as_double());
+    if (b == DataType::kInt) return -CompareIntDouble(other.as_int(), as_double());
     const double x = numeric(), y = other.numeric();
-    return x < y ? -1 : (x > y ? 1 : 0);
+    if (x < y) return -1;
+    if (x > y) return 1;
+    // Neither < nor >: equal, or at least one NaN. NaNs sort after every
+    // non-NaN numeric (and compare equal to each other) so the order stays
+    // total — vital for sort comparators and ValueKey hash-table equality.
+    const bool x_nan = std::isnan(x), y_nan = std::isnan(y);
+    if (x_nan == y_nan) return 0;
+    return x_nan ? 1 : -1;
   }
   if (a == DataType::kString && b == DataType::kString) {
     return as_string().compare(other.as_string()) < 0
@@ -53,6 +84,46 @@ std::string Value::ToString() const {
     case DataType::kString: return as_string();
   }
   return "?";
+}
+
+size_t Value::Hash() const {
+  // splitmix64 finalizer: cheap and well-distributed for 64-bit inputs.
+  auto mix = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  };
+  switch (type()) {
+    case DataType::kNull:
+      return 0x2545f4914f6cdd1dull;
+    case DataType::kInt: {
+      // Compare() treats ints and doubles as one numeric domain, so an int
+      // that a double can represent exactly must hash like that double. An
+      // int beyond 2^53 that does NOT round-trip can never compare equal to
+      // any double, so it hashes by its integer bits — keeping distinct
+      // large ints in distinct buckets instead of collapsing whole double
+      // rounding ranges onto one hash.
+      const int64_t i = as_int();
+      const double d = static_cast<double>(i);
+      if (d < 9223372036854775808.0 && static_cast<int64_t>(d) == i) {
+        return mix(std::bit_cast<uint64_t>(d));
+      }
+      return mix(static_cast<uint64_t>(i));
+    }
+    case DataType::kDouble: {
+      double d = as_double();
+      if (d == 0.0) d = 0.0;  // collapse -0.0 onto +0.0 (they compare equal)
+      if (std::isnan(d)) {
+        // All NaN payloads compare equal; hash them alike.
+        d = std::numeric_limits<double>::quiet_NaN();
+      }
+      return mix(std::bit_cast<uint64_t>(d));
+    }
+    case DataType::kString:
+      return std::hash<std::string_view>{}(as_string());
+  }
+  return 0;
 }
 
 size_t Value::ByteSize() const {

@@ -56,6 +56,11 @@ class Value {
 
   std::string ToString() const;
 
+  /// Hash consistent with Compare() equality: values that compare equal hash
+  /// equal (int 5 and double 5.0 share a hash; -0.0 hashes as 0.0). Used by
+  /// the executor's ValueKey-based hash join and aggregation tables.
+  size_t Hash() const;
+
   /// Approximate in-memory/on-disk footprint in bytes (used by the storage
   /// accounting behind Table III).
   size_t ByteSize() const;

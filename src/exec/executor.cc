@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <unordered_map>
 
-#include "common/codec.h"
+#include "exec/value_key.h"
 
 namespace synergy::exec {
 namespace {
@@ -22,20 +21,106 @@ std::shared_ptr<RowSchema> AliasSchema(const sql::TableRef& ref,
   return RowSchema::Make(std::move(names));
 }
 
-std::vector<Value> TupleToValues(const sql::RelationDef& rel,
-                                 const Tuple& tuple) {
-  std::vector<Value> values;
-  values.reserve(rel.columns.size());
-  for (const sql::Column& c : rel.columns) {
-    auto it = tuple.find(c.name);
-    values.push_back(it == tuple.end() ? Value() : it->second);
-  }
-  return values;
-}
-
 /// The constant side of an access-path key predicate.
 const sql::Operand& ConstSide(const sql::Predicate& pred) {
   return pred.lhs.kind == sql::Operand::Kind::kColumn ? pred.rhs : pred.lhs;
+}
+
+/// Coerces a byte-key lookup value to the declared column type so encoded
+/// point/prefix lookups agree with Value::Compare's numeric equality (int 5
+/// must find a row stored under double 5.0 and vice versa, exactly as the
+/// hash-join/predicate paths treat them). Returns false when no stored
+/// value could match (a fractional or out-of-range double against an INT
+/// column), i.e. the lookup is a guaranteed miss.
+bool CoerceKeyValue(DataType declared, Value* v) {
+  if (v->is_null()) return true;  // NULL handling stays with the caller
+  if (declared == DataType::kInt && v->type() == DataType::kDouble) {
+    const double d = v->as_double();
+    if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
+      return false;
+    }
+    const int64_t i = static_cast<int64_t>(d);
+    if (static_cast<double>(i) != d) return false;  // fractional: no match
+    *v = Value(i);
+  } else if (declared == DataType::kDouble && v->type() == DataType::kInt) {
+    const int64_t i = v->as_int();
+    const double d = static_cast<double>(i);
+    // Ints not exactly representable as a double (beyond 2^53) equal no
+    // stored double under Value::Compare; the rounded key must not match.
+    if (d >= 9223372036854775808.0 || static_cast<int64_t>(d) != i) {
+      return false;
+    }
+    *v = Value(d);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Slot-bound predicates
+//
+// Residual predicates and join-key operands are resolved to row slots (or
+// pre-evaluated constants) once per statement, so the per-row path is a
+// vector index plus Value::Compare — no schema lookups, no Value copies.
+// ---------------------------------------------------------------------------
+
+struct BoundOperand {
+  int slot = -1;   // >= 0: index into the combined row
+  Value constant;  // used when slot < 0 (literal/param, resolved at bind)
+};
+
+struct BoundPredicate {
+  sql::CompareOp op = sql::CompareOp::kEq;
+  BoundOperand lhs, rhs;
+};
+
+StatusOr<BoundOperand> BindOperand(const sql::Operand& op,
+                                   const RowSchema& schema,
+                                   BoundParams params) {
+  BoundOperand bound;
+  if (op.kind == sql::Operand::Kind::kColumn) {
+    bound.slot = schema.Find(op.column);
+    if (bound.slot < 0) {
+      return Status::InvalidArgument("unknown column " + op.column.ToString());
+    }
+    return bound;
+  }
+  SYNERGY_ASSIGN_OR_RETURN(v, ResolveConstOperand(op, params));
+  bound.constant = std::move(v);
+  return bound;
+}
+
+StatusOr<std::vector<BoundPredicate>> BindPredicates(
+    const std::vector<const sql::Predicate*>& preds, const RowSchema& schema,
+    BoundParams params) {
+  std::vector<BoundPredicate> bound;
+  bound.reserve(preds.size());
+  for (const sql::Predicate* p : preds) {
+    BoundPredicate bp;
+    bp.op = p->op;
+    SYNERGY_ASSIGN_OR_RETURN(lhs, BindOperand(p->lhs, schema, params));
+    SYNERGY_ASSIGN_OR_RETURN(rhs, BindOperand(p->rhs, schema, params));
+    bp.lhs = std::move(lhs);
+    bp.rhs = std::move(rhs);
+    bound.push_back(std::move(bp));
+  }
+  return bound;
+}
+
+inline const Value& OperandValue(const BoundOperand& op,
+                                 const std::vector<Value>& row) {
+  return op.slot >= 0 ? row[static_cast<size_t>(op.slot)] : op.constant;
+}
+
+/// Conjunction with SQL NULL-collapses-to-false semantics (as EvalAll).
+inline bool EvalBound(const std::vector<BoundPredicate>& preds,
+                      const std::vector<Value>& row) {
+  for (const BoundPredicate& p : preds) {
+    if (!CompareValues(p.op, OperandValue(p.lhs, row),
+                       OperandValue(p.rhs, row))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -45,8 +130,9 @@ const sql::Operand& ConstSide(const sql::Predicate& pred) {
 class Sink {
  public:
   virtual ~Sink() = default;
+  /// Consumes one combined pipeline row (slots per the final schema).
   /// Returns false to stop the pipeline early.
-  virtual StatusOr<bool> Process(const ExecRow& row) = 0;
+  virtual StatusOr<bool> Process(const std::vector<Value>& row) = 0;
   virtual Status Finish(QueryResult* out) = 0;
 };
 
@@ -54,6 +140,17 @@ struct SortSpec {
   std::vector<int> slots;  // into the output row
   std::vector<bool> descending;
 };
+
+/// Output-order comparison on projected rows: sort keys, no tie-break.
+int CompareSorted(const SortSpec& sort, const std::vector<Value>& a,
+                  const std::vector<Value>& b) {
+  for (size_t k = 0; k < sort.slots.size(); ++k) {
+    const size_t slot = static_cast<size_t>(sort.slots[k]);
+    const int c = a[slot].Compare(b[slot]);
+    if (c != 0) return sort.descending[k] ? -c : c;
+  }
+  return 0;
+}
 
 void SortAndLimit(std::vector<std::vector<Value>>* rows, const SortSpec& sort,
                   int64_t limit, hbase::Session& s,
@@ -64,13 +161,7 @@ void SortAndLimit(std::vector<std::vector<Value>>* rows, const SortSpec& sort,
     std::stable_sort(rows->begin(), rows->end(),
                      [&](const std::vector<Value>& a,
                          const std::vector<Value>& b) {
-                       for (size_t k = 0; k < sort.slots.size(); ++k) {
-                         const size_t slot =
-                             static_cast<size_t>(sort.slots[k]);
-                         const int c = a[slot].Compare(b[slot]);
-                         if (c != 0) return sort.descending[k] ? c > 0 : c < 0;
-                       }
-                       return false;
+                       return CompareSorted(sort, a, b) < 0;
                      });
   }
   if (limit >= 0 && rows->size() > static_cast<size_t>(limit)) {
@@ -79,6 +170,10 @@ void SortAndLimit(std::vector<std::vector<Value>>* rows, const SortSpec& sort,
 }
 
 /// Non-aggregating sink: project, optionally sort, limit, collect/count.
+///
+/// ORDER BY + LIMIT k keeps a bounded k-row heap (top-N) instead of
+/// materializing and stable-sorting the whole input; ties preserve input
+/// order via a sequence number, so results match stable_sort exactly.
 class PlainSink : public Sink {
  public:
   static StatusOr<std::unique_ptr<PlainSink>> Make(
@@ -135,19 +230,23 @@ class PlainSink : public Sink {
       sink->sort_.descending.push_back(o.descending);
     }
     sink->needs_materialize_ = !sink->sort_.slots.empty();
+    sink->top_n_ = sink->needs_materialize_ && sink->limit_ >= 0;
     return sink;
   }
 
-  StatusOr<bool> Process(const ExecRow& row) override {
+  StatusOr<bool> Process(const std::vector<Value>& row) override {
+    if (top_n_) {
+      ++seen_;
+      if (limit_ == 0) return false;  // LIMIT 0: nothing can qualify
+      ProcessTopN(row);
+      return true;
+    }
     if (!needs_materialize_ && limit_ >= 0 &&
         count_ >= static_cast<size_t>(limit_)) {
       return false;
     }
-    std::vector<Value> out;
-    out.reserve(slots_.size());
-    for (const int slot : slots_) out.push_back(row.At(slot));
     if (needs_materialize_ || collect_) {
-      rows_.push_back(std::move(out));
+      rows_.push_back(Project(row));
     }
     ++count_;
     if (!needs_materialize_ && limit_ >= 0 &&
@@ -158,7 +257,11 @@ class PlainSink : public Sink {
   }
 
   Status Finish(QueryResult* result) override {
-    SortAndLimit(&rows_, sort_, limit_, *session_, *model_);
+    if (top_n_) {
+      FinishTopN();
+    } else {
+      SortAndLimit(&rows_, sort_, limit_, *session_, *model_);
+    }
     const size_t visible_cols =
         columns_.size();  // hidden sort columns are dropped below
     if (hidden_tail_) {
@@ -177,20 +280,96 @@ class PlainSink : public Sink {
   }
 
  private:
+  struct HeapEntry {
+    std::vector<Value> row;  // projected (incl. hidden sort tail)
+    size_t seq = 0;          // input order, for stable ties
+  };
+
+  std::vector<Value> Project(const std::vector<Value>& row) const {
+    std::vector<Value> out;
+    out.reserve(slots_.size());
+    for (const int slot : slots_) {
+      out.push_back(row[static_cast<size_t>(slot)]);
+    }
+    return out;
+  }
+
+  /// True when `a` is output strictly before `b`.
+  bool OutputBefore(const HeapEntry& a, const HeapEntry& b) const {
+    const int c = CompareSorted(sort_, a.row, b.row);
+    if (c != 0) return c < 0;
+    return a.seq < b.seq;  // stable: earlier input first
+  }
+
+  /// True when the (unprojected) source row would be output strictly before
+  /// the worst kept entry. Ties lose: the earlier row is already in the heap.
+  bool BeatsWorst(const std::vector<Value>& row) const {
+    for (size_t k = 0; k < sort_.slots.size(); ++k) {
+      const size_t out_slot = static_cast<size_t>(sort_.slots[k]);
+      const size_t src_slot = static_cast<size_t>(slots_[out_slot]);
+      const int c = row[src_slot].Compare(heap_.front().row[out_slot]);
+      if (c != 0) return sort_.descending[k] ? c > 0 : c < 0;
+    }
+    return false;
+  }
+
+  void ProcessTopN(const std::vector<Value>& row) {
+    const size_t k = static_cast<size_t>(limit_);
+    auto later = [this](const HeapEntry& a, const HeapEntry& b) {
+      return OutputBefore(a, b);  // max-heap: worst kept entry on top
+    };
+    if (heap_.size() < k) {
+      heap_.push_back(HeapEntry{Project(row), seen_});
+      std::push_heap(heap_.begin(), heap_.end(), later);
+      return;
+    }
+    // Compare against the current worst before paying for a projection;
+    // with a full heap most rows are rejected right here.
+    if (BeatsWorst(row)) {
+      std::pop_heap(heap_.begin(), heap_.end(), later);
+      heap_.back() = HeapEntry{Project(row), seen_};
+      std::push_heap(heap_.begin(), heap_.end(), later);
+    }
+  }
+
+  void FinishTopN() {
+    if (seen_ > 1 && !heap_.empty()) {
+      // Bounded-heap cost: n rows through a k-sized heap.
+      const double n = static_cast<double>(seen_);
+      const double k = static_cast<double>(heap_.size());
+      session_->meter().Charge(model_->sort_row_log_us * n *
+                               std::log2(std::max(2.0, k)));
+    }
+    std::sort(heap_.begin(), heap_.end(),
+              [this](const HeapEntry& a, const HeapEntry& b) {
+                return OutputBefore(a, b);
+              });
+    rows_.reserve(heap_.size());
+    for (HeapEntry& e : heap_) rows_.push_back(std::move(e.row));
+    heap_.clear();
+    count_ = seen_;
+  }
+
   hbase::Session* session_ = nullptr;
   const sim::CostModel* model_ = nullptr;
   bool collect_ = true;
   bool needs_materialize_ = false;
+  bool top_n_ = false;
   bool hidden_tail_ = false;
   int64_t limit_ = -1;
   size_t count_ = 0;
+  size_t seen_ = 0;
   std::vector<int> slots_;
   std::vector<std::string> columns_;
   SortSpec sort_;
   std::vector<std::vector<Value>> rows_;
+  std::vector<HeapEntry> heap_;
 };
 
-/// Hash-aggregation sink (GROUP BY + aggregate select items).
+/// Hash-aggregation sink (GROUP BY + aggregate select items). Groups are
+/// keyed on the group-column Values directly (ValueKey, cached hash) — the
+/// per-row probe gathers pointers into the row, so no key encoding or
+/// allocation happens for rows of already-seen groups.
 class AggSink : public Sink {
  public:
   static StatusOr<std::unique_ptr<AggSink>> Make(
@@ -247,34 +426,42 @@ class AggSink : public Sink {
     return sink;
   }
 
-  StatusOr<bool> Process(const ExecRow& row) override {
+  StatusOr<bool> Process(const std::vector<Value>& row) override {
     session_->meter().Charge(model_->agg_row_us);
-    std::vector<Value> key;
-    key.reserve(group_slots_.size());
-    for (const int slot : group_slots_) key.push_back(row.At(slot));
-    GroupState& state = groups_[codec::EncodeKey(key)];
-    if (state.accums.empty()) {
+    key_ptrs_.clear();
+    for (const int slot : group_slots_) {
+      key_ptrs_.push_back(&row[static_cast<size_t>(slot)]);
+    }
+    const ValueKeyRef ref(key_ptrs_);
+    auto it = groups_.find(ref);
+    if (it == groups_.end()) {
+      it = groups_.emplace(MaterializeKey(ref), GroupState{}).first;
+      GroupState& state = it->second;
       state.order = groups_.size() - 1;
       state.accums.resize(items_.size());
       state.first_row.reserve(items_.size());
       for (const ItemSpec& item : items_) {
-        state.first_row.push_back(item.slot >= 0 ? row.At(item.slot) : Value());
+        state.first_row.push_back(
+            item.slot >= 0 ? row[static_cast<size_t>(item.slot)] : Value());
       }
     }
+    GroupState& state = it->second;
     for (size_t i = 0; i < items_.size(); ++i) {
       Accum& acc = state.accums[i];
       const ItemSpec& item = items_[i];
       if (item.agg == sql::AggFunc::kNone) continue;
-      Value v = item.slot >= 0 ? row.At(item.slot) : Value(1);
+      const Value* v = item.slot >= 0
+                           ? &row[static_cast<size_t>(item.slot)]
+                           : nullptr;  // COUNT(*)
       if (item.agg == sql::AggFunc::kCount) {
-        if (item.slot < 0 || !v.is_null()) acc.count += 1;
+        if (v == nullptr || !v->is_null()) acc.count += 1;
         continue;
       }
-      if (v.is_null()) continue;
+      if (v == nullptr || v->is_null()) continue;
       acc.count += 1;
-      acc.sum += v.numeric();
-      if (acc.count == 1 || v < acc.min) acc.min = v;
-      if (acc.count == 1 || v > acc.max) acc.max = v;
+      acc.sum += v->numeric();
+      if (acc.count == 1 || *v < acc.min) acc.min = *v;
+      if (acc.count == 1 || *v > acc.max) acc.max = *v;
     }
     return true;
   }
@@ -282,7 +469,8 @@ class AggSink : public Sink {
   Status Finish(QueryResult* result) override {
     if (groups_.empty() && group_slots_.empty()) {
       // Aggregates over an empty input still produce one row (COUNT = 0).
-      GroupState& state = groups_[""];
+      GroupState& state = groups_.emplace(ValueKey{}, GroupState{})
+                              .first->second;
       state.order = 0;
       state.accums.resize(items_.size());
       state.first_row.resize(items_.size());
@@ -357,7 +545,8 @@ class AggSink : public Sink {
   std::vector<ItemSpec> items_;
   std::vector<std::string> columns_;
   SortSpec sort_;
-  std::unordered_map<std::string, GroupState> groups_;
+  std::vector<const Value*> key_ptrs_;  // per-row probe scratch
+  std::unordered_map<ValueKey, GroupState, ValueKeyHash, ValueKeyEq> groups_;
 };
 
 }  // namespace
@@ -413,46 +602,79 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
                        },
                        popts));
 
-  // Final row schema = concatenation of all alias schemas.
-  std::vector<std::shared_ptr<RowSchema>> alias_schemas;
-  std::shared_ptr<RowSchema> final_schema;
+  // Cumulative schemas: cum_schemas[i] covers the combined row after step i.
+  // The final row schema is the concatenation of all alias schemas; slots
+  // are stable across steps (each step appends to the right).
+  const size_t n = plan.steps.size();
+  std::vector<std::shared_ptr<RowSchema>> cum_schemas;
+  cum_schemas.reserve(n);
+  std::shared_ptr<RowSchema> acc;
   for (const PlanStep& step : plan.steps) {
     auto schema = AliasSchema(step.table, *step.rel);
-    final_schema = final_schema ? RowSchema::Concat(*final_schema, *schema)
-                                : schema;
-    alias_schemas.push_back(std::move(schema));
+    acc = acc ? RowSchema::Concat(*acc, *schema) : std::move(schema);
+    cum_schemas.push_back(acc);
+  }
+  const RowSchema& final_schema = *cum_schemas.back();
+
+  // Bind residual predicates to slots once per statement (they reference
+  // only columns available at their step, i.e. slots of cum_schemas[i]).
+  std::vector<std::vector<BoundPredicate>> residuals(n);
+  for (size_t i = 0; i < n; ++i) {
+    SYNERGY_ASSIGN_OR_RETURN(
+        bound, BindPredicates(plan.steps[i].residual, *cum_schemas[i],
+                              params));
+    residuals[i] = std::move(bound);
   }
 
   std::unique_ptr<Sink> sink;
   if (stmt.HasAggregates() || !stmt.group_by.empty()) {
     SYNERGY_ASSIGN_OR_RETURN(
-        agg, AggSink::Make(stmt, *final_schema, s, model, options));
+        agg, AggSink::Make(stmt, final_schema, s, model, options));
     sink = std::move(agg);
   } else {
     SYNERGY_ASSIGN_OR_RETURN(
-        plain, PlainSink::Make(stmt, *final_schema, s, model, options));
+        plain, PlainSink::Make(stmt, final_schema, s, model, options));
     sink = std::move(plain);
   }
 
-  // Streams rows of one table according to its access path.
+  // Streams rows of one table according to its access path. The callback
+  // receives a reusable slot row (relation column order); it may move the
+  // values out when it needs to keep them.
+  // Resolves an access path's equality key values, coerced to the key
+  // columns' declared types. Returns false when the lookup is a guaranteed
+  // miss (e.g. a fractional double against an INT key column).
+  auto build_access_key = [&params](const PlanStep& step,
+                                    std::vector<Value>* key)
+      -> StatusOr<bool> {
+    for (size_t j = 0; j < step.path.key_preds.size(); ++j) {
+      SYNERGY_ASSIGN_OR_RETURN(
+          v, ResolveConstOperand(ConstSide(*step.path.key_preds[j]), params));
+      const DataType declared =
+          step.rel->ColumnType(step.path.key_columns[j])
+              .value_or(DataType::kString);
+      if (!CoerceKeyValue(declared, &v)) return false;
+      key->push_back(std::move(v));
+    }
+    return true;
+  };
+
   auto for_each_table_row =
       [&](const PlanStep& step,
-          const std::function<StatusOr<bool>(Tuple&&)>& fn) -> Status {
-    auto handle = [&](TupleWithMeta&& twm) -> StatusOr<bool> {
-      if (options.detect_dirty && twm.marked) return DirtyRead();
-      return fn(std::move(twm.tuple));
+          const std::function<StatusOr<bool>(SlotRow&)>& fn) -> Status {
+    SlotRow scratch;
+    auto handle = [&](SlotRow& row) -> StatusOr<bool> {
+      if (options.detect_dirty && row.marked) return DirtyRead();
+      return fn(row);
     };
     switch (step.path.kind) {
       case AccessPath::Kind::kPkGet: {
         std::vector<Value> key;
-        for (const sql::Predicate* p : step.path.key_preds) {
-          SYNERGY_ASSIGN_OR_RETURN(v, ResolveConstOperand(ConstSide(*p), params));
-          key.push_back(std::move(v));
-        }
+        SYNERGY_ASSIGN_OR_RETURN(matchable, build_access_key(step, &key));
+        if (!matchable) return Status::Ok();
         SYNERGY_ASSIGN_OR_RETURN(
-            row, adapter_->GetByPk(s, step.table.table, key));
-        if (row.has_value()) {
-          SYNERGY_ASSIGN_OR_RETURN(keep, handle(std::move(*row)));
+            found, adapter_->GetByPkSlots(s, step.table.table, key, &scratch));
+        if (found) {
+          SYNERGY_ASSIGN_OR_RETURN(keep, handle(scratch));
           (void)keep;
         }
         return Status::Ok();
@@ -460,20 +682,17 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
       case AccessPath::Kind::kIndexPrefixScan:
       case AccessPath::Kind::kPkPrefixScan: {
         std::vector<Value> prefix;
-        for (const sql::Predicate* p : step.path.key_preds) {
-          SYNERGY_ASSIGN_OR_RETURN(v, ResolveConstOperand(ConstSide(*p), params));
-          prefix.push_back(std::move(v));
-        }
+        SYNERGY_ASSIGN_OR_RETURN(matchable, build_access_key(step, &prefix));
+        if (!matchable) return Status::Ok();
         StatusOr<TupleScanner> scanner =
             step.path.kind == AccessPath::Kind::kIndexPrefixScan
                 ? adapter_->ScanIndexPrefix(s, step.path.index_name, prefix)
                 : adapter_->ScanPkPrefix(s, step.table.table, prefix);
         SYNERGY_RETURN_IF_ERROR(scanner.status());
-        TupleWithMeta twm;
         while (true) {
-          SYNERGY_ASSIGN_OR_RETURN(more, scanner->Next(&twm));
+          SYNERGY_ASSIGN_OR_RETURN(more, scanner->NextSlots(&scratch));
           if (!more) break;
-          SYNERGY_ASSIGN_OR_RETURN(keep, handle(std::move(twm)));
+          SYNERGY_ASSIGN_OR_RETURN(keep, handle(scratch));
           if (!keep) break;
         }
         return Status::Ok();
@@ -481,11 +700,10 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
       case AccessPath::Kind::kFullScan: {
         SYNERGY_ASSIGN_OR_RETURN(scanner,
                                  adapter_->ScanAll(s, step.table.table));
-        TupleWithMeta twm;
         while (true) {
-          SYNERGY_ASSIGN_OR_RETURN(more, scanner.Next(&twm));
+          SYNERGY_ASSIGN_OR_RETURN(more, scanner.NextSlots(&scratch));
           if (!more) break;
-          SYNERGY_ASSIGN_OR_RETURN(keep, handle(std::move(twm)));
+          SYNERGY_ASSIGN_OR_RETURN(keep, handle(scratch));
           if (!keep) break;
         }
         return Status::Ok();
@@ -495,26 +713,25 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
   };
 
   // --- pipeline ---
-  const size_t n = plan.steps.size();
-  std::vector<ExecRow> current;
-  std::shared_ptr<RowSchema> cur_schema = alias_schemas[0];
+  // Intermediate rows are plain slot vectors; schemas live on the side and
+  // everything row-referencing was pre-bound to slots above.
+  std::vector<std::vector<Value>> current;
   bool stopped = false;
 
   {
     const PlanStep& step = plan.steps[0];
-    auto consume = [&](Tuple&& tuple) -> StatusOr<bool> {
-      ExecRow row{cur_schema, TupleToValues(*step.rel, tuple)};
-      SYNERGY_ASSIGN_OR_RETURN(pass, EvalAll(step.residual, row, params));
-      if (!pass) return true;
+    const std::vector<BoundPredicate>& residual = residuals[0];
+    auto consume = [&](SlotRow& row) -> StatusOr<bool> {
+      if (!EvalBound(residual, row.values)) return true;
       if (n == 1) {
-        SYNERGY_ASSIGN_OR_RETURN(keep, sink->Process(row));
+        SYNERGY_ASSIGN_OR_RETURN(keep, sink->Process(row.values));
         if (!keep) {
           stopped = true;
           return false;
         }
         return true;
       }
-      current.push_back(std::move(row));
+      current.push_back(std::move(row.values));
       return true;
     };
     SYNERGY_RETURN_IF_ERROR(for_each_table_row(step, consume));
@@ -523,18 +740,19 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
   for (size_t i = 1; i < n && !stopped; ++i) {
     const PlanStep& step = plan.steps[i];
     const bool last = (i == n - 1);
-    auto next_schema = RowSchema::Concat(*cur_schema, *alias_schemas[i]);
-    std::vector<ExecRow> next;
+    const RowSchema& outer_schema = *cum_schemas[i - 1];
+    const std::vector<BoundPredicate>& residual = residuals[i];
+    std::vector<std::vector<Value>> next;
+    std::vector<Value> combined;  // reused when feeding the sink
 
-    auto emit_combined = [&](const ExecRow& left,
-                             std::vector<Value>&& right_values)
+    auto emit_combined = [&](const std::vector<Value>& left,
+                             const std::vector<Value>& right)
         -> StatusOr<bool> {
-      ExecRow combined{next_schema, left.values};
-      combined.values.insert(combined.values.end(),
-                             std::make_move_iterator(right_values.begin()),
-                             std::make_move_iterator(right_values.end()));
-      SYNERGY_ASSIGN_OR_RETURN(pass, EvalAll(step.residual, combined, params));
-      if (!pass) return true;
+      combined.clear();
+      combined.reserve(left.size() + right.size());
+      combined.insert(combined.end(), left.begin(), left.end());
+      combined.insert(combined.end(), right.begin(), right.end());
+      if (!EvalBound(residual, combined)) return true;
       s.meter().Charge(model.join_emit_row_us);
       if (last) {
         SYNERGY_ASSIGN_OR_RETURN(keep, sink->Process(combined));
@@ -549,26 +767,46 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
     };
 
     if (step.method == PlanStep::Method::kIndexNestedLoop) {
-      for (const ExecRow& outer : current) {
+      // Bind the outer-side lookup operands once; reuse key and inner-row
+      // buffers across all outer rows.
+      std::vector<BoundOperand> outer_ops;
+      outer_ops.reserve(step.lookup.outer_operands.size());
+      for (const sql::Operand& op : step.lookup.outer_operands) {
+        SYNERGY_ASSIGN_OR_RETURN(bound, BindOperand(op, outer_schema, params));
+        outer_ops.push_back(std::move(bound));
+      }
+      std::vector<DataType> lookup_types;
+      lookup_types.reserve(step.lookup.inner_columns.size());
+      for (const std::string& col : step.lookup.inner_columns) {
+        lookup_types.push_back(
+            step.rel->ColumnType(col).value_or(DataType::kString));
+      }
+      std::vector<Value> key;
+      SlotRow inner;
+      for (const std::vector<Value>& outer : current) {
         if (stopped) break;
-        std::vector<Value> key;
-        key.reserve(step.lookup.outer_operands.size());
-        bool has_null = false;
-        for (const sql::Operand& op : step.lookup.outer_operands) {
-          SYNERGY_ASSIGN_OR_RETURN(v, ResolveOperand(op, outer, params));
-          if (v.is_null()) has_null = true;
+        key.clear();
+        bool skip = false;
+        for (size_t j = 0; j < outer_ops.size(); ++j) {
+          Value v = OperandValue(outer_ops[j], outer);
+          // NULL keys never match; neither does e.g. a fractional double
+          // probed against an INT column (keeps byte-key lookups consistent
+          // with hash-join/Compare numeric equality).
+          if (v.is_null() || !CoerceKeyValue(lookup_types[j], &v)) {
+            skip = true;
+            break;
+          }
           key.push_back(std::move(v));
         }
-        if (has_null) continue;
+        if (skip) continue;
         s.meter().Charge(model.join_probe_row_us + model.join_row_overhead_us);
         if (step.lookup.kind == AccessPath::Kind::kPkGet) {
           SYNERGY_ASSIGN_OR_RETURN(
-              row, adapter_->GetByPk(s, step.table.table, key));
-          if (row.has_value()) {
-            if (options.detect_dirty && row->marked) return DirtyRead();
-            SYNERGY_ASSIGN_OR_RETURN(
-                keep, emit_combined(outer, TupleToValues(*step.rel,
-                                                         row->tuple)));
+              found, adapter_->GetByPkSlots(s, step.table.table, key, &inner));
+          if (found) {
+            if (options.detect_dirty && inner.marked) return DirtyRead();
+            SYNERGY_ASSIGN_OR_RETURN(keep,
+                                     emit_combined(outer, inner.values));
             (void)keep;
           }
         } else {
@@ -577,21 +815,20 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
                   ? adapter_->ScanIndexPrefix(s, step.lookup.index_name, key)
                   : adapter_->ScanPkPrefix(s, step.table.table, key);
           SYNERGY_RETURN_IF_ERROR(scanner.status());
-          TupleWithMeta twm;
           while (!stopped) {
-            SYNERGY_ASSIGN_OR_RETURN(more, scanner->Next(&twm));
+            SYNERGY_ASSIGN_OR_RETURN(more, scanner->NextSlots(&inner));
             if (!more) break;
-            if (options.detect_dirty && twm.marked) return DirtyRead();
-            SYNERGY_ASSIGN_OR_RETURN(
-                keep,
-                emit_combined(outer, TupleToValues(*step.rel, twm.tuple)));
+            if (options.detect_dirty && inner.marked) return DirtyRead();
+            SYNERGY_ASSIGN_OR_RETURN(keep,
+                                     emit_combined(outer, inner.values));
             if (!keep) break;
           }
         }
       }
     } else {
       // Client-side hash join: build on the accumulated intermediate,
-      // stream this step's table.
+      // stream this step's table. The table is keyed on the join-key Values
+      // (cached hash), not on encoded byte strings.
       struct JoinSide {
         const sql::Operand* outer;
         std::string inner_column;
@@ -604,47 +841,69 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
             (p->lhs.column.qualifier == step.table.alias ||
              (p->lhs.column.qualifier.empty() &&
               step.rel->HasColumn(p->lhs.column.column) &&
-              cur_schema->Find(p->lhs.column) < 0));
+              outer_schema.Find(p->lhs.column) < 0));
         if (lhs_inner) {
           keys.push_back(JoinSide{&p->rhs, p->lhs.column.column});
         } else {
           keys.push_back(JoinSide{&p->lhs, p->rhs.column.column});
         }
       }
-      std::unordered_map<std::string, std::vector<const ExecRow*>> table;
+      // Pre-bind both sides: build-side operands to outer-row slots,
+      // probe-side columns to this relation's slots.
+      std::vector<BoundOperand> build_ops;
+      std::vector<int> probe_slots;
+      build_ops.reserve(keys.size());
+      probe_slots.reserve(keys.size());
+      for (const JoinSide& k : keys) {
+        SYNERGY_ASSIGN_OR_RETURN(bound,
+                                 BindOperand(*k.outer, outer_schema, params));
+        build_ops.push_back(std::move(bound));
+        probe_slots.push_back(step.rel->ColumnIndex(k.inner_column));
+      }
+      std::unordered_map<ValueKey, std::vector<size_t>, ValueKeyHash,
+                         ValueKeyEq>
+          table;
       table.reserve(current.size() * 2);
       // Build sides beyond client memory spill to a grace hash join: both
       // sides pay an extra partitioning pass per row.
       const bool spilled = current.size() > model.hash_join_spill_rows;
-      for (const ExecRow& row : current) {
-        std::vector<Value> key;
-        key.reserve(keys.size());
+      std::vector<const Value*> key_ptrs;
+      key_ptrs.reserve(keys.size());
+      for (size_t row_idx = 0; row_idx < current.size(); ++row_idx) {
+        const std::vector<Value>& row = current[row_idx];
+        key_ptrs.clear();
         bool has_null = false;
-        for (const JoinSide& k : keys) {
-          SYNERGY_ASSIGN_OR_RETURN(v, ResolveOperand(*k.outer, row, params));
+        for (const BoundOperand& op : build_ops) {
+          const Value& v = OperandValue(op, row);
           if (v.is_null()) has_null = true;
-          key.push_back(std::move(v));
+          key_ptrs.push_back(&v);
         }
         s.meter().Charge(model.join_build_row_us + model.join_row_overhead_us +
                          (spilled ? model.join_spill_row_us : 0.0));
-        if (!has_null) table[codec::EncodeKey(key)].push_back(&row);
+        if (has_null) continue;
+        const ValueKeyRef ref(key_ptrs);
+        auto it = table.find(ref);
+        if (it == table.end()) {
+          it = table.emplace(MaterializeKey(ref), std::vector<size_t>())
+                   .first;
+        }
+        it->second.push_back(row_idx);
       }
-      auto consume = [&](Tuple&& tuple) -> StatusOr<bool> {
+      auto consume = [&](SlotRow& row) -> StatusOr<bool> {
         s.meter().Charge(model.join_probe_row_us + model.join_row_overhead_us +
                          (spilled ? model.join_spill_row_us : 0.0));
-        std::vector<Value> key;
-        key.reserve(keys.size());
-        for (const JoinSide& k : keys) {
-          auto it = tuple.find(k.inner_column);
-          if (it == tuple.end()) return true;  // NULL join key: no match
-          key.push_back(it->second);
+        key_ptrs.clear();
+        for (const int slot : probe_slots) {
+          if (slot < 0) return true;  // column not stored: NULL, no match
+          const Value& v = row.values[static_cast<size_t>(slot)];
+          if (v.is_null()) return true;  // NULL join key: no match
+          key_ptrs.push_back(&v);
         }
-        auto bucket = table.find(codec::EncodeKey(key));
+        const auto bucket = table.find(ValueKeyRef(key_ptrs));
         if (bucket == table.end()) return true;
-        std::vector<Value> right_values = TupleToValues(*step.rel, tuple);
-        for (const ExecRow* left : bucket->second) {
-          std::vector<Value> copy = right_values;
-          SYNERGY_ASSIGN_OR_RETURN(keep, emit_combined(*left, std::move(copy)));
+        for (const size_t left_idx : bucket->second) {
+          SYNERGY_ASSIGN_OR_RETURN(
+              keep, emit_combined(current[left_idx], row.values));
           if (!keep) return false;
         }
         return true;
@@ -653,7 +912,6 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
     }
     if (!last) {
       current = std::move(next);
-      cur_schema = next_schema;
     }
   }
 

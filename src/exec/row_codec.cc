@@ -86,6 +86,28 @@ StatusOr<Tuple> DecodeRowValue(const std::vector<sql::Column>& columns,
   return tuple;
 }
 
+Status DecodeRowSlots(const std::vector<sql::Column>& columns,
+                      const std::vector<int>& slot_map, size_t num_slots,
+                      std::string_view bytes, std::vector<Value>* out) {
+  out->clear();
+  out->resize(num_slots);  // all slots NULL
+  const bool identity = slot_map.empty();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    SYNERGY_ASSIGN_OR_RETURN(v, codec::DecodeValue(&bytes, columns[i].type));
+    const int slot = identity ? static_cast<int>(i) : slot_map[i];
+    if (slot >= 0) (*out)[static_cast<size_t>(slot)] = std::move(v);
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes in row value");
+  }
+  return Status::Ok();
+}
+
+void EncodePkKeyFromValuesInto(const std::vector<Value>& pk_values,
+                               std::string* out) {
+  codec::EncodeKeyInto(pk_values, out);
+}
+
 std::vector<sql::Column> ProjectColumns(const sql::RelationDef& rel,
                                         const std::vector<std::string>& names) {
   std::vector<sql::Column> out;

@@ -55,6 +55,19 @@ std::string EncodeProjectedValue(const std::vector<std::string>& columns,
 StatusOr<Tuple> DecodeRowValue(const std::vector<sql::Column>& columns,
                                std::string_view bytes);
 
+/// Slot-decoding fast path: decodes the value encoded with `columns` directly
+/// into `out`, which is resized to `num_slots` and NULL-filled first. The
+/// i-th decoded column lands in slot `slot_map[i]` (a negative slot discards
+/// it); an empty `slot_map` means identity (base rows in schema order).
+/// Reuses `out`'s capacity — no per-row map or node allocations.
+Status DecodeRowSlots(const std::vector<sql::Column>& columns,
+                      const std::vector<int>& slot_map, size_t num_slots,
+                      std::string_view bytes, std::vector<Value>* out);
+
+/// Like EncodePkKeyFromValues but reuses `out`'s capacity (cleared first).
+void EncodePkKeyFromValuesInto(const std::vector<Value>& pk_values,
+                               std::string* out);
+
 /// Column definitions for a projected (index) encoding.
 std::vector<sql::Column> ProjectColumns(
     const sql::RelationDef& rel, const std::vector<std::string>& names);

@@ -1,6 +1,20 @@
 #include "exec/table_adapter.h"
 
 namespace synergy::exec {
+namespace {
+
+/// Maps each covered column of `ix` to its slot in `rel.columns` order.
+std::vector<int> CoveredSlotMap(const sql::IndexDef& ix,
+                                const sql::RelationDef& rel) {
+  std::vector<int> map;
+  map.reserve(ix.covered_columns.size());
+  for (const std::string& name : ix.covered_columns) {
+    map.push_back(rel.ColumnIndex(name));
+  }
+  return map;
+}
+
+}  // namespace
 
 StatusOr<bool> TupleScanner::Next(TupleWithMeta* out) {
   hbase::RowResult row;
@@ -11,6 +25,27 @@ StatusOr<bool> TupleScanner::Next(TupleWithMeta* out) {
     out->tuple = std::move(tuple);
     auto mark = row.columns.find(kMarkQualifier);
     out->marked = mark != row.columns.end() && mark->second == "1";
+    return true;
+  }
+  return false;
+}
+
+StatusOr<bool> TupleScanner::NextSlots(SlotRow* out) {
+  hbase::RowResult row;
+  while (scanner_.Next(&row)) {
+    // Single pass over the (few) columns: pick out data + mark together.
+    const std::string* data = nullptr;
+    out->marked = false;
+    for (const auto& [qual, value] : row.columns) {
+      if (qual == kDataQualifier) {
+        data = &value;
+      } else if (qual == kMarkQualifier) {
+        out->marked = value == "1";
+      }
+    }
+    if (data == nullptr) continue;  // e.g. mark-only residue
+    SYNERGY_RETURN_IF_ERROR(DecodeRowSlots(columns_, slot_map_, num_slots_,
+                                           *data, &out->values));
     return true;
   }
   return false;
@@ -82,6 +117,28 @@ StatusOr<std::optional<TupleWithMeta>> TableAdapter::GetByPk(
   return std::optional<TupleWithMeta>(std::move(out));
 }
 
+StatusOr<bool> TableAdapter::GetByPkSlots(hbase::Session& s,
+                                          const std::string& relation,
+                                          const std::vector<Value>& pk_values,
+                                          SlotRow* out) {
+  const sql::RelationDef* rel = catalog_->FindRelation(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  EncodePkKeyFromValuesInto(pk_values, &out->key_scratch);
+  StatusOr<hbase::RowResult> row = cluster_->Get(s, relation, out->key_scratch);
+  if (!row.ok()) {
+    if (row.status().code() == StatusCode::kNotFound) return false;
+    return row.status();
+  }
+  auto data = row->columns.find(kDataQualifier);
+  if (data == row->columns.end()) return false;
+  SYNERGY_RETURN_IF_ERROR(DecodeRowSlots(rel->columns, /*slot_map=*/{},
+                                         rel->columns.size(), data->second,
+                                         &out->values));
+  auto mark = row->columns.find(kMarkQualifier);
+  out->marked = mark != row->columns.end() && mark->second == "1";
+  return true;
+}
+
 Status TableAdapter::DeleteByPk(hbase::Session& s, const std::string& relation,
                                 const std::vector<Value>& pk_values) {
   const sql::RelationDef* rel = catalog_->FindRelation(relation);
@@ -140,7 +197,8 @@ StatusOr<TupleScanner> TableAdapter::ScanAll(hbase::Session& s,
   const sql::RelationDef* rel = catalog_->FindRelation(relation);
   if (rel == nullptr) return Status::NotFound("relation " + relation);
   SYNERGY_ASSIGN_OR_RETURN(scanner, cluster_->OpenScanner(s, relation));
-  return TupleScanner(std::move(scanner), rel->columns);
+  return TupleScanner(std::move(scanner), rel->columns, /*slot_map=*/{},
+                      rel->columns.size());
 }
 
 StatusOr<TupleScanner> TableAdapter::ScanIndexPrefix(
@@ -154,7 +212,8 @@ StatusOr<TupleScanner> TableAdapter::ScanIndexPrefix(
   SYNERGY_ASSIGN_OR_RETURN(scanner,
                            cluster_->OpenScanner(s, index_name, start, stop));
   return TupleScanner(std::move(scanner),
-                      ProjectColumns(*rel, ix->covered_columns));
+                      ProjectColumns(*rel, ix->covered_columns),
+                      CoveredSlotMap(*ix, *rel), rel->columns.size());
 }
 
 StatusOr<TupleScanner> TableAdapter::ScanPkPrefix(
@@ -165,7 +224,8 @@ StatusOr<TupleScanner> TableAdapter::ScanPkPrefix(
   auto [start, stop] = IndexPrefixRange(prefix);
   SYNERGY_ASSIGN_OR_RETURN(scanner,
                            cluster_->OpenScanner(s, relation, start, stop));
-  return TupleScanner(std::move(scanner), rel->columns);
+  return TupleScanner(std::move(scanner), rel->columns, /*slot_map=*/{},
+                      rel->columns.size());
 }
 
 Status TableAdapter::MarkRow(hbase::Session& s, const std::string& relation,

@@ -23,19 +23,41 @@ struct TupleWithMeta {
   bool marked = false;  // dirty-mark set by an in-flight Synergy update
 };
 
+/// Reusable slot-decoded row buffer: values in RelationDef column order
+/// (NULL where absent), plus a scratch byte-key buffer so repeated point
+/// lookups reuse one allocation. The executor keeps one per operator.
+struct SlotRow {
+  std::vector<Value> values;
+  bool marked = false;
+  std::string key_scratch;
+};
+
 /// Streaming typed scan over a relation or one of its indexes.
 class TupleScanner {
  public:
   /// Returns false at end of stream; Status error on decode failure.
   StatusOr<bool> Next(TupleWithMeta* out);
 
+  /// Slot-decoding variant: fills `out->values` in the owning relation's
+  /// column order, reusing its capacity (no per-row map allocations).
+  StatusOr<bool> NextSlots(SlotRow* out);
+
  private:
   friend class TableAdapter;
-  TupleScanner(hbase::Scanner scanner, std::vector<sql::Column> columns)
-      : scanner_(std::move(scanner)), columns_(std::move(columns)) {}
+  /// `slot_map[i]` is the output slot of the i-th stored column (identity
+  /// for base-table scans, covered->relation mapping for index scans);
+  /// `num_slots` is the relation's column count.
+  TupleScanner(hbase::Scanner scanner, std::vector<sql::Column> columns,
+               std::vector<int> slot_map, size_t num_slots)
+      : scanner_(std::move(scanner)),
+        columns_(std::move(columns)),
+        slot_map_(std::move(slot_map)),
+        num_slots_(num_slots) {}
 
   hbase::Scanner scanner_;
   std::vector<sql::Column> columns_;
+  std::vector<int> slot_map_;
+  size_t num_slots_;
 };
 
 class TableAdapter {
@@ -57,6 +79,12 @@ class TableAdapter {
   StatusOr<std::optional<TupleWithMeta>> GetByPk(
       hbase::Session& s, const std::string& relation,
       const std::vector<Value>& pk_values);
+
+  /// Slot-decoding point lookup: returns true and fills `row` (values in
+  /// relation column order) when the row exists. Reuses `row`'s buffers.
+  StatusOr<bool> GetByPkSlots(hbase::Session& s, const std::string& relation,
+                              const std::vector<Value>& pk_values,
+                              SlotRow* row);
 
   /// Deletes the row and its index rows (reads the row first to build index
   /// keys, as in §VII-B). No-op if absent.

@@ -1,0 +1,94 @@
+// Composite hash keys over Value tuples for the executor's in-memory hash
+// tables (hash join build/probe, GROUP BY state).
+//
+// Replaces the old codec::EncodeKey byte-string keys: no per-row encoding or
+// string allocation. Probing uses heterogeneous lookup with a non-owning
+// ValueKeyRef (an array of Value pointers gathered from the current row), so
+// the probe side never copies values; only newly inserted keys materialize a
+// vector<Value>.
+//
+// Hashing and equality follow Value::Compare()/Value::Hash(): int 5 and
+// double 5.0 are the same key, NULLs are all one key (matching the previous
+// EncodeKey behavior where every NULL encoded to the same marker).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/value.h"
+
+namespace synergy::exec {
+
+inline size_t CombineValueHash(size_t seed, size_t h) {
+  // boost::hash_combine-style mixing over the per-value hashes.
+  return seed ^ (h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+inline size_t HashValuePtrs(std::span<const Value* const> values) {
+  size_t seed = values.size();
+  for (const Value* v : values) seed = CombineValueHash(seed, v->Hash());
+  return seed;
+}
+
+/// Owning key: the gathered key values plus their cached hash. Construct
+/// via MaterializeKey (probe-miss path) so the hash is computed once.
+struct ValueKey {
+  std::vector<Value> values;
+  size_t hash = 0;
+};
+
+/// Non-owning probe key: pointers into an existing row, hash precomputed.
+struct ValueKeyRef {
+  std::span<const Value* const> values;
+  size_t hash = 0;
+
+  explicit ValueKeyRef(std::span<const Value* const> v)
+      : values(v), hash(HashValuePtrs(v)) {}
+};
+
+struct ValueKeyHash {
+  using is_transparent = void;
+  size_t operator()(const ValueKey& k) const { return k.hash; }
+  size_t operator()(const ValueKeyRef& k) const { return k.hash; }
+};
+
+struct ValueKeyEq {
+  using is_transparent = void;
+
+  bool operator()(const ValueKey& a, const ValueKey& b) const {
+    if (a.values.size() != b.values.size()) return false;
+    for (size_t i = 0; i < a.values.size(); ++i) {
+      if (a.values[i].Compare(b.values[i]) != 0) return false;
+    }
+    return true;
+  }
+  bool operator()(const ValueKeyRef& a, const ValueKey& b) const {
+    if (a.values.size() != b.values.size()) return false;
+    for (size_t i = 0; i < a.values.size(); ++i) {
+      if (a.values[i]->Compare(b.values[i]) != 0) return false;
+    }
+    return true;
+  }
+  bool operator()(const ValueKey& a, const ValueKeyRef& b) const {
+    return (*this)(b, a);
+  }
+  bool operator()(const ValueKeyRef& a, const ValueKeyRef& b) const {
+    if (a.values.size() != b.values.size()) return false;
+    for (size_t i = 0; i < a.values.size(); ++i) {
+      if (a.values[i]->Compare(*b.values[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Materializes an owning ValueKey from a probe ref (reuses the ref's hash).
+inline ValueKey MaterializeKey(const ValueKeyRef& ref) {
+  ValueKey key;
+  key.values.reserve(ref.values.size());
+  for (const Value* v : ref.values) key.values.push_back(*v);
+  key.hash = ref.hash;
+  return key;
+}
+
+}  // namespace synergy::exec

@@ -10,9 +10,10 @@ std::optional<RowResult> ResolveRow(const std::string& key, const RowData& row,
                                     const ReadView& view) {
   RowResult out;
   out.row_key = key;
+  out.columns.reserve(row.size());
   for (const auto& [qual, cell] : row) {
     std::optional<std::string> v = cell.LatestVisible(view.read_ts, view.exclude);
-    if (v.has_value()) out.columns.emplace(qual, std::move(*v));
+    if (v.has_value()) out.columns.Append(qual, std::move(*v));
   }
   if (out.columns.empty()) return std::nullopt;
   return out;
@@ -105,6 +106,7 @@ ScanBatchResult Region::ScanBatch(const std::string& from,
                                   const ReadView& view) const {
   std::shared_lock lock(mutex_);
   ScanBatchResult out;
+  out.rows.reserve(std::min(limit, rows_.size()));
   auto it = rows_.lower_bound(std::max(from, start_key_));
   for (; it != rows_.end(); ++it) {
     if (!end_key_.empty() && it->first >= end_key_) break;

@@ -16,6 +16,13 @@ std::optional<DataType> RelationDef::ColumnType(const std::string& col) const {
   return std::nullopt;
 }
 
+int RelationDef::ColumnIndex(const std::string& col) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == col) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 std::vector<DataType> RelationDef::PrimaryKeyTypes() const {
   std::vector<DataType> types;
   types.reserve(primary_key.size());

@@ -38,6 +38,8 @@ struct RelationDef {
 
   bool HasColumn(const std::string& col) const;
   std::optional<DataType> ColumnType(const std::string& col) const;
+  /// Position of `col` in `columns`, or -1. Slot index for slot-based rows.
+  int ColumnIndex(const std::string& col) const;
   std::vector<DataType> PrimaryKeyTypes() const;
   bool IsPrimaryKeyColumn(const std::string& col) const;
 };

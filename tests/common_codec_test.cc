@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -38,6 +39,21 @@ TEST(CodecTest, DoubleRoundTrip) {
     ASSERT_TRUE(dec.ok());
     EXPECT_DOUBLE_EQ(dec->as_double(), x);
   }
+}
+
+TEST(CodecTest, NanEncodesCanonicallyAndSortsLast) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // All NaN payloads encode identically (they compare equal) and sort after
+  // every non-NaN double, matching Value::Compare's total order.
+  EXPECT_EQ(Enc(Value(nan)), Enc(Value(-nan)));
+  EXPECT_GT(Enc(Value(nan)), Enc(Value(std::numeric_limits<double>::max())));
+  EXPECT_GT(Enc(Value(nan)),
+            Enc(Value(std::numeric_limits<double>::infinity())));
+  std::string enc = Enc(Value(nan));
+  std::string_view view(enc);
+  auto dec = DecodeValue(&view, DataType::kDouble);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(std::isnan(dec->as_double()));
 }
 
 TEST(CodecTest, StringRoundTripWithEmbeddedNul) {
@@ -80,6 +96,46 @@ TEST(CodecTest, PrefixSuccessor) {
   EXPECT_EQ(PrefixSuccessor("abc"), "abd");
   EXPECT_EQ(PrefixSuccessor(std::string("a\xff", 2)), "b");
   EXPECT_EQ(PrefixSuccessor(std::string("\xff", 1)), "");
+}
+
+TEST(CodecTest, PrefixSuccessorEdgeCases) {
+  // Empty prefix: no successor (unbounded scan).
+  EXPECT_EQ(PrefixSuccessor(""), "");
+  // All-0xFF prefixes of any length collapse to unbounded.
+  EXPECT_EQ(PrefixSuccessor(std::string("\xff\xff\xff", 3)), "");
+  // A 0xFE byte increments without carrying.
+  EXPECT_EQ(PrefixSuccessor(std::string("a\xfe", 2)), std::string("a\xff", 2));
+  // Embedded NUL bytes are ordinary bytes.
+  EXPECT_EQ(PrefixSuccessor(std::string("\x00", 1)), std::string("\x01", 1));
+  // The successor is strictly greater than every string with the prefix.
+  const std::string p("k\xff\xff", 3);
+  const std::string succ = PrefixSuccessor(p);
+  EXPECT_EQ(succ, "l");
+  EXPECT_GT(succ, p + std::string(8, '\xff'));
+}
+
+TEST(CodecTest, StringRoundTripWith0xFFBytes) {
+  for (const std::string& s :
+       {std::string("\xff", 1), std::string("a\xff\xff" "b", 4),
+        std::string("\x00\xff", 2), std::string("\xff\x00", 2),
+        std::string("\x00\x01", 2), std::string(3, '\0')}) {
+    std::string enc = Enc(Value(s));
+    std::string_view view(enc);
+    auto dec = DecodeValue(&view, DataType::kString);
+    ASSERT_TRUE(dec.ok()) << HexDump(s);
+    EXPECT_EQ(dec->as_string(), s) << HexDump(s);
+    EXPECT_TRUE(view.empty());
+  }
+}
+
+TEST(CodecTest, EncodeKeyIntoMatchesEncodeKeyAndReusesBuffer) {
+  const std::vector<Value> a = {Value(7), Value("x\0y"), Value(-2.25)};
+  const std::vector<Value> b = {Value()};
+  std::string scratch = "stale contents";
+  EncodeKeyInto(a, &scratch);
+  EXPECT_EQ(scratch, EncodeKey(a));
+  EncodeKeyInto(b, &scratch);  // reuse must fully replace prior bytes
+  EXPECT_EQ(scratch, EncodeKey(b));
 }
 
 // Property: byte-order of encoded keys equals value order.
@@ -136,6 +192,66 @@ TEST_P(CodecOrderPropertyTest, CompositeOrderPreserved) {
     for (size_t j = 0; j < keys.size(); ++j) {
       EXPECT_EQ(tuple_less(keys[i].first, keys[j].first),
                 keys[i].second < keys[j].second);
+    }
+  }
+}
+
+TEST_P(CodecOrderPropertyTest, IntOrderMatchesValueCompareAtExtremes) {
+  Rng rng(GetParam());
+  std::vector<int64_t> vals = {0, 1, -1, std::numeric_limits<int64_t>::min(),
+                               std::numeric_limits<int64_t>::max()};
+  for (int i = 0; i < 50; ++i) vals.push_back(static_cast<int64_t>(rng.Next()));
+  for (const int64_t a : vals) {
+    for (const int64_t b : vals) {
+      EXPECT_EQ(Value(a).Compare(Value(b)) < 0, Enc(Value(a)) < Enc(Value(b)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST_P(CodecOrderPropertyTest, DoubleOrderMatchesValueCompareAtExtremes) {
+  Rng rng(GetParam());
+  std::vector<double> vals = {0.0, -0.0, 1.5, -1.5, 1e-300, -1e-300,
+                              std::numeric_limits<double>::max(),
+                              std::numeric_limits<double>::lowest(),
+                              std::numeric_limits<double>::denorm_min()};
+  for (int i = 0; i < 50; ++i) vals.push_back(rng.UniformReal(-1e12, 1e12));
+  for (const double a : vals) {
+    for (const double b : vals) {
+      // Compare() is the ground truth; 0.0 and -0.0 must encode identically.
+      const int c = Value(a).Compare(Value(b));
+      const std::string ea = Enc(Value(a)), eb = Enc(Value(b));
+      EXPECT_EQ(c < 0, ea < eb) << a << " vs " << b;
+      EXPECT_EQ(c == 0, ea == eb) << a << " vs " << b;
+    }
+  }
+}
+
+TEST_P(CodecOrderPropertyTest, BinaryStringRoundTripAndOrderPreserved) {
+  Rng rng(GetParam());
+  std::vector<std::string> strs;
+  for (int i = 0; i < 60; ++i) {
+    // Arbitrary bytes, biased toward the codec's special values 0x00/0xFF.
+    std::string s;
+    const size_t len = rng.Next() % 10;
+    for (size_t k = 0; k < len; ++k) {
+      const uint64_t r = rng.Next() % 4;
+      s.push_back(r == 0 ? '\0' : (r == 1 ? '\xff'
+                                          : static_cast<char>(rng.Next())));
+    }
+    strs.push_back(std::move(s));
+  }
+  for (const std::string& s : strs) {
+    std::string enc = Enc(Value(s));
+    std::string_view view(enc);
+    auto dec = DecodeValue(&view, DataType::kString);
+    ASSERT_TRUE(dec.ok()) << HexDump(s);
+    EXPECT_EQ(dec->as_string(), s) << HexDump(s);
+  }
+  for (const std::string& a : strs) {
+    for (const std::string& b : strs) {
+      EXPECT_EQ(a < b, Enc(Value(a)) < Enc(Value(b)))
+          << HexDump(a) << " vs " << HexDump(b);
     }
   }
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace synergy {
 namespace {
 
@@ -77,6 +79,58 @@ TEST(ValueTest, MixedTypeTotalOrderIsStable) {
   // Number < string by type tag, consistently in both directions.
   EXPECT_LT(Value(5), Value("5"));
   EXPECT_GT(Value("5"), Value(5));
+}
+
+TEST(ValueTest, IntDoubleComparisonIsExactBeyond2To53) {
+  const int64_t big = (int64_t{1} << 53) + 1;  // not representable as double
+  const double biggd = 9007199254740992.0;     // 2^53
+  // Casting either side to double would collapse these to "equal".
+  EXPECT_GT(Value(big), Value(biggd));
+  EXPECT_LT(Value(biggd), Value(big));
+  EXPECT_EQ(Value(int64_t{1} << 53).Compare(Value(biggd)), 0);
+  // Extremes: doubles beyond the int64 range order correctly.
+  EXPECT_LT(Value(std::numeric_limits<int64_t>::max()), Value(1e19));
+  EXPECT_GT(Value(std::numeric_limits<int64_t>::min()), Value(-1e19));
+  EXPECT_LT(Value(7), Value(7.5));
+  EXPECT_GT(Value(8), Value(7.5));
+  EXPECT_GT(Value(-7), Value(-7.5));
+}
+
+TEST(ValueTest, NanHasATotalOrder) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN compares equal only to NaN and sorts after every non-NaN numeric —
+  // a total order, as the sort comparators and hash-table equality require.
+  EXPECT_EQ(Value(nan).Compare(Value(nan)), 0);
+  EXPECT_EQ(Value(nan).Compare(Value(-nan)), 0);
+  EXPECT_GT(Value(nan), Value(5.0));
+  EXPECT_GT(Value(nan), Value(std::numeric_limits<double>::infinity()));
+  EXPECT_GT(Value(nan), Value(5));
+  EXPECT_LT(Value(5.0), Value(nan));
+  EXPECT_EQ(Value(nan).Hash(), Value(-nan).Hash());
+}
+
+TEST(ValueTest, HashConsistentWithCompareEquality) {
+  // Values that compare equal must hash equal (hash-join/GROUP BY keys).
+  EXPECT_EQ(Value(5).Hash(), Value(5.0).Hash());
+  EXPECT_EQ(Value(0.0).Hash(), Value(-0.0).Hash());
+  EXPECT_EQ(Value(0).Hash(), Value(-0.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value(std::string("abc")).Hash());
+  EXPECT_EQ(Value().Hash(), Value().Hash());
+}
+
+TEST(ValueTest, HashSpreadsDistinctValues) {
+  // Not a guarantee, but these common neighbors must not all collide.
+  EXPECT_NE(Value(1).Hash(), Value(2).Hash());
+  EXPECT_NE(Value("a").Hash(), Value("b").Hash());
+  EXPECT_NE(Value().Hash(), Value(0).Hash());
+  EXPECT_NE(Value(1.5).Hash(), Value(2.5).Hash());
+  // Adjacent large ints share a double rounding bucket but must not share a
+  // hash (they hash by integer bits when not double-representable)...
+  const int64_t big = (int64_t{1} << 60) + 2;
+  EXPECT_NE(Value(big).Hash(), Value(big + 1).Hash());
+  // ...while a double-representable int still hashes like its double.
+  EXPECT_EQ(Value(int64_t{1} << 60).Hash(),
+            Value(static_cast<double>(int64_t{1} << 60)).Hash());
 }
 
 }  // namespace
