@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "synergy/synergy_system.h"
+#include "testing/fault_injector.h"
 
 using namespace synergy;
 
@@ -95,8 +96,9 @@ int main() {
 
   // --- 3. Failure + WAL replay ----------------------------------------
   std::printf("3) Slave crash and WAL failover\n");
-  system.txn_layer()->slave(0)->InjectCrashBeforeExecute();
-  system.txn_layer()->slave(1)->InjectCrashBeforeExecute();
+  fault::FaultInjector faults(1);
+  system.SetFaultInjector(&faults);
+  faults.Arm(fault::FaultPoint::kCrashBeforeExecute);
   hbase::Session ws(&cluster);
   auto stmt = sql::MustParse(
       "INSERT INTO Entry (e_id, e_a_id, e_amount) VALUES (?, ?, ?)");
@@ -105,12 +107,11 @@ int main() {
   std::printf("   write during crash: %s\n",
               crashed.ok() ? "committed (unexpected)"
                            : crashed.status().ToString().c_str());
+  system.SetFaultInjector(nullptr);
   Must(system.txn_layer()->DetectAndRecover(
-      ws,
-      [&](hbase::Session& rs, const std::string& payload) {
+      ws, [&](hbase::Session& rs, const std::string& payload) {
         return system.ReplayPayload(rs, payload);
-      },
-      nullptr));
+      }));
   auto recovered = system.ExecuteRead(s, q, params);
   Must(recovered.status());
   std::printf("   after failover+replay the ledger has %zu rows — the WAL'd "

@@ -27,6 +27,7 @@ StatusOr<bool> TupleScanner::Next(TupleWithMeta* out) {
     out->marked = mark != row.columns.end() && mark->second == "1";
     return true;
   }
+  SYNERGY_RETURN_IF_ERROR(scanner_.status());
   return false;
 }
 
@@ -48,6 +49,7 @@ StatusOr<bool> TupleScanner::NextSlots(SlotRow* out) {
                                            *data, &out->values));
     return true;
   }
+  SYNERGY_RETURN_IF_ERROR(scanner_.status());
   return false;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "testing/fault_injector.h"
+
 namespace synergy::hbase {
 
 Status Cluster::CreateTable(const TableDescriptor& desc,
@@ -11,7 +13,28 @@ Status Cluster::CreateTable(const TableDescriptor& desc,
     return Status::AlreadyExists("table " + desc.name);
   }
   tables_.emplace(desc.name,
-                  std::make_unique<Table>(desc, split_keys, &clock_));
+                  std::make_unique<Table>(desc, split_keys, &clock_,
+                                          num_region_servers_));
+  return Status::Ok();
+}
+
+Status Cluster::InjectRequestFault(const std::string& table,
+                                   const Region* region) {
+  if (faults_ == nullptr) return Status::Ok();
+  const fault::FaultSite site{table, region->server_id()};
+  if (faults_->ShouldFire(fault::FaultPoint::kRegionRpcFailure, site)) {
+    return faults_->InjectedFault(fault::FaultPoint::kRegionRpcFailure);
+  }
+  return Status::Ok();
+}
+
+Status Cluster::InjectAckFault(const std::string& table,
+                               const Region* region) {
+  if (faults_ == nullptr) return Status::Ok();
+  const fault::FaultSite site{table, region->server_id()};
+  if (faults_->ShouldFire(fault::FaultPoint::kRegionRpcAckLost, site)) {
+    return faults_->InjectedFault(fault::FaultPoint::kRegionRpcAckLost);
+  }
   return Status::Ok();
 }
 
@@ -49,13 +72,16 @@ Status Cluster::Put(
   size_t payload = row_key.size();
   for (const auto& [qual, value] : columns) payload += qual.size() + value.size();
   s.meter().Charge(sim::RpcCost(model_, payload) + model_.server_seek_us);
-  t->RouteKey(row_key)->Put(row_key, columns, ts);
-  return Status::Ok();
+  Region* region = t->RouteKey(row_key);
+  SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
+  region->Put(row_key, columns, ts);
+  return InjectAckFault(table, region);
 }
 
 StatusOr<RowResult> Cluster::Get(Session& s, const std::string& table,
                                  const std::string& row_key) {
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
+  SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, t->RouteKey(row_key)));
   std::optional<RowResult> row =
       t->RouteKey(row_key)->Get(row_key, s.read_view());
   const size_t payload = row.has_value() ? row->PayloadBytes() : 0;
@@ -71,8 +97,10 @@ Status Cluster::Delete(Session& s, const std::string& table,
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   s.meter().Charge(sim::RpcCost(model_, row_key.size()) +
                    model_.server_seek_us);
-  t->RouteKey(row_key)->Delete(row_key, ts);
-  return Status::Ok();
+  Region* region = t->RouteKey(row_key);
+  SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
+  region->Delete(row_key, ts);
+  return InjectAckFault(table, region);
 }
 
 StatusOr<bool> Cluster::CheckAndPut(Session& s, const std::string& table,
@@ -82,8 +110,11 @@ StatusOr<bool> Cluster::CheckAndPut(Session& s, const std::string& table,
                                     const std::string& new_value) {
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   s.meter().Charge(model_.lock_rpc_us);
-  return t->RouteKey(row_key)->CheckAndPut(row_key, qualifier, expected,
-                                           new_value);
+  // No ack-lost injection here: a CheckAndPut that applies but reports
+  // failure is unresolvable ambiguity for the caller (non-idempotent CAS).
+  Region* region = t->RouteKey(row_key);
+  SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
+  return region->CheckAndPut(row_key, qualifier, expected, new_value);
 }
 
 StatusOr<int64_t> Cluster::Increment(Session& s, const std::string& table,
@@ -93,7 +124,9 @@ StatusOr<int64_t> Cluster::Increment(Session& s, const std::string& table,
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   s.meter().Charge(sim::RpcCost(model_, row_key.size() + 16) +
                    model_.server_seek_us);
-  return t->RouteKey(row_key)->Increment(row_key, qualifier, delta);
+  Region* region = t->RouteKey(row_key);
+  SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
+  return region->Increment(row_key, qualifier, delta);
 }
 
 StatusOr<Scanner> Cluster::OpenScanner(Session& s, const std::string& table,
@@ -112,6 +145,7 @@ StatusOr<ScanBatchResult> Cluster::ScanBatchRpc(Session& s,
                                                 size_t limit) {
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   Region* region = t->RouteScanStart(from);
+  SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   ScanBatchResult batch = region->ScanBatch(from, stop, limit, s.read_view());
   // If the region was exhausted but the table continues, resume from the
   // region's end key on the next RPC.
@@ -141,6 +175,7 @@ bool Scanner::FetchBatch() {
         cluster_->ScanBatchRpc(*session_, table_, next_start_, stop_,
                                batch_rows_);
     if (!batch.ok()) {
+      status_ = batch.status();
       exhausted_ = true;
       return false;
     }

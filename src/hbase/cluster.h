@@ -19,6 +19,10 @@
 #include "hbase/table.h"
 #include "sim/cost_model.h"
 
+namespace synergy::fault {
+class FaultInjector;
+}  // namespace synergy::fault
+
 namespace synergy::hbase {
 
 class Cluster;
@@ -48,7 +52,12 @@ class Session {
 class Scanner {
  public:
   /// Advances to the next row; returns false when the scan is exhausted.
+  /// A false return can also mean a failed batch RPC — check status().
   bool Next(RowResult* out);
+
+  /// Non-OK when the scan terminated on a batch-RPC error (e.g. an injected
+  /// region fault) rather than genuine exhaustion.
+  const Status& status() const { return status_; }
 
   size_t rows_returned() const { return rows_returned_; }
 
@@ -75,6 +84,7 @@ class Scanner {
   size_t buffer_pos_ = 0;
   bool exhausted_ = false;
   size_t rows_returned_ = 0;
+  Status status_ = Status::Ok();
 };
 
 struct TableSizeInfo {
@@ -92,6 +102,14 @@ class Cluster {
 
   const sim::CostModel& cost_model() const { return model_; }
   int num_region_servers() const { return num_region_servers_; }
+
+  /// Installs (or clears, with nullptr) the fault injector consulted at the
+  /// RPC boundary of every store operation. Injected request-lost faults
+  /// fail the RPC before it reaches the region; ack-lost faults apply the
+  /// mutation and fail the acknowledgement. The injector must outlive its
+  /// installation; injection sites are read-only for the cluster state.
+  void SetFaultInjector(fault::FaultInjector* faults) { faults_ = faults; }
+  fault::FaultInjector* fault_injector() const { return faults_; }
 
   /// Monotonic logical timestamp source (shared by all writers).
   int64_t NextTimestamp() { return clock_.fetch_add(1) + 1; }
@@ -143,6 +161,11 @@ class Cluster {
 
   StatusOr<Table*> FindTable(const std::string& name) const;
 
+  /// Fault hook before an RPC touches `region`: non-OK = request lost.
+  Status InjectRequestFault(const std::string& table, const Region* region);
+  /// Fault hook after a mutation applied: non-OK = acknowledgement lost.
+  Status InjectAckFault(const std::string& table, const Region* region);
+
   /// One scan RPC: fetch up to `limit` visible rows starting at `from`.
   StatusOr<ScanBatchResult> ScanBatchRpc(Session& s, const std::string& table,
                                          const std::string& from,
@@ -151,6 +174,7 @@ class Cluster {
 
   sim::CostModel model_;
   int num_region_servers_;
+  fault::FaultInjector* faults_ = nullptr;
   std::atomic<int64_t> clock_{0};
   mutable std::mutex tables_mutex_;
   std::map<std::string, std::unique_ptr<Table>> tables_;

@@ -39,14 +39,17 @@ class Region {
   /// `clock` allocates write timestamps *inside* the region latch when the
   /// caller does not supply one, guaranteeing per-cell monotonicity under
   /// concurrency (a pre-allocated timestamp could be written after a newer
-  /// one and be silently hidden).
+  /// one and be silently hidden). `server_id` names the region server this
+  /// region is assigned to; fault schedules use it to take down all regions
+  /// of one server at once (see testing/fault_injector.h).
   Region(std::string start_key, std::string end_key,
-         std::atomic<int64_t>* clock)
+         std::atomic<int64_t>* clock, int server_id = 0)
       : start_key_(std::move(start_key)), end_key_(std::move(end_key)),
-        clock_(clock) {}
+        clock_(clock), server_id_(server_id) {}
 
   const std::string& start_key() const { return start_key_; }
   const std::string& end_key() const { return end_key_; }
+  int server_id() const { return server_id_; }
 
   /// Key containment: [start_key, end_key); empty end_key = unbounded.
   bool Contains(const std::string& key) const {
@@ -110,6 +113,7 @@ class Region {
   std::string start_key_;
   std::string end_key_;
   std::atomic<int64_t>* clock_;
+  int server_id_ = 0;
   mutable std::shared_mutex mutex_;
   std::map<std::string, RowData> rows_;
 };

@@ -7,18 +7,21 @@
 namespace synergy::hbase {
 
 Table::Table(TableDescriptor desc, const std::vector<std::string>& split_keys,
-             std::atomic<int64_t>* clock)
-    : desc_(std::move(desc)), clock_(clock) {
+             std::atomic<int64_t>* clock, int num_region_servers)
+    : desc_(std::move(desc)), clock_(clock),
+      num_region_servers_(num_region_servers) {
   std::vector<std::string> splits = split_keys;
   std::sort(splits.begin(), splits.end());
   splits.erase(std::unique(splits.begin(), splits.end()), splits.end());
   std::string start;
   for (const std::string& split : splits) {
     if (split.empty()) continue;
-    regions_.push_back(std::make_unique<Region>(start, split, clock_));
+    regions_.push_back(
+        std::make_unique<Region>(start, split, clock_, NextServerId()));
     start = split;
   }
-  regions_.push_back(std::make_unique<Region>(start, "", clock_));
+  regions_.push_back(std::make_unique<Region>(start, "", clock_,
+                                              NextServerId()));
 }
 
 Region* Table::RouteKey(const std::string& key) {
@@ -78,7 +81,8 @@ void Table::MaybeSplit() {
     if (region->RowCount() <= desc_.split_threshold_rows) continue;
     const std::string median = region->MedianKey();
     if (median.empty() || median == region->start_key()) continue;
-    auto right = std::make_unique<Region>(median, region->end_key(), clock_);
+    auto right = std::make_unique<Region>(median, region->end_key(), clock_,
+                                          NextServerId());
     region->SplitInto(median, right.get());
     region->SetEndKey(median);
     regions_.insert(regions_.begin() + static_cast<long>(i) + 1,

@@ -21,8 +21,10 @@ struct TableDescriptor {
 
 class Table {
  public:
+  /// Regions are assigned to the `num_region_servers` servers round-robin,
+  /// both at creation and on split (fault schedules target server ids).
   Table(TableDescriptor desc, const std::vector<std::string>& split_keys,
-        std::atomic<int64_t>* clock);
+        std::atomic<int64_t>* clock, int num_region_servers = 1);
 
   const TableDescriptor& descriptor() const { return desc_; }
 
@@ -45,8 +47,14 @@ class Table {
   void MaybeSplit();
 
  private:
+  int NextServerId() {
+    return num_region_servers_ > 0 ? next_server_++ % num_region_servers_ : 0;
+  }
+
   TableDescriptor desc_;
   std::atomic<int64_t>* clock_;
+  int num_region_servers_ = 1;
+  int next_server_ = 0;
   mutable std::shared_mutex mutex_;  // guards regions_ topology
   std::vector<std::unique_ptr<Region>> regions_;  // sorted by start_key
 };

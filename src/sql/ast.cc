@@ -1,9 +1,36 @@
 #include "sql/ast.h"
 
 #include <algorithm>
+#include <charconv>
 #include <sstream>
 
 namespace synergy::sql {
+
+namespace {
+
+// Renders a double so that re-lexing it yields the same double again:
+// shortest round-trip digits, with a forced ".0" suffix when the result
+// would otherwise tokenize as an integer. Statements are replayed from
+// their SQL text (WAL payloads), so literal rendering must be lossless.
+std::string DoubleLiteralToString(double d) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  std::string out(buf, ptr);
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
+}
+
+std::string StringLiteralToString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
 
 const char* CompareOpName(CompareOp op) {
   switch (op) {
@@ -33,9 +60,15 @@ std::string Operand::ToString() const {
   switch (kind) {
     case Kind::kColumn: return column.ToString();
     case Kind::kLiteral:
-      return literal.type() == DataType::kString
-                 ? "'" + literal.ToString() + "'"
-                 : literal.ToString();
+      if (literal.is_null()) return literal.ToString();
+      switch (literal.type()) {
+        case DataType::kString:
+          return StringLiteralToString(literal.as_string());
+        case DataType::kDouble:
+          return DoubleLiteralToString(literal.as_double());
+        default:
+          return literal.ToString();
+      }
     case Kind::kParam: return "?";
   }
   return "?";

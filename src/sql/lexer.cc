@@ -42,6 +42,19 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
         if (sql[j] == '.') is_double = true;
         ++j;
       }
+      // Exponent suffix ("1e10", "6.95e+08"): only consumed when digits
+      // follow, so identifiers such as `e` in `Employee AS e` still lex
+      // as their own tokens.
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) {
+          ++k;
+          while (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) ++k;
+          j = k;
+          is_double = true;
+        }
+      }
       const std::string text = sql.substr(i, j - i);
       Token t;
       t.offset = start;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sql/parser.h"
+#include "testing/fault_injector.h"
 
 namespace synergy::core {
 
@@ -74,8 +75,16 @@ Status SynergySystem::Build(const sql::Catalog& base_catalog,
   locks_ = std::make_unique<txn::LockManager>(cluster_);
   txn_layer_ = std::make_unique<txn::TxnLayer>(cluster_, locks_.get(),
                                                config_.txn_slaves);
+  if (faults_ != nullptr) SetFaultInjector(faults_);
   built_ = true;
   return Status::Ok();
+}
+
+void SynergySystem::SetFaultInjector(fault::FaultInjector* faults) {
+  faults_ = faults;
+  cluster_->SetFaultInjector(faults);
+  if (locks_ != nullptr) locks_->SetFaultInjector(faults);
+  if (txn_layer_ != nullptr) txn_layer_->SetFaultInjector(faults);
 }
 
 Status SynergySystem::CreateStorage() {

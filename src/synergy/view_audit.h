@@ -1,0 +1,55 @@
+// View-consistency auditor: checks that every materialized view equals the
+// join of its member base tables (the §VII invariant) and that no dirty
+// marks are left behind. The chaos/property suites run it after recovery;
+// it is also handy as a debugging probe after any write sequence.
+//
+// The defining join is rebuilt from the catalog's ViewDef (member path +
+// FK edges) and executed over the base tables with client hash joins, so
+// the audit does not depend on the view machinery it is checking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/table_adapter.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+
+namespace synergy::core {
+
+struct ViewAuditEntry {
+  std::string view;
+  size_t view_rows = 0;    // live rows in view storage
+  size_t join_rows = 0;    // rows of the defining base join
+  size_t marked_rows = 0;  // leftover dirty marks in view storage
+  size_t missing_rows = 0; // join rows absent from the view
+  size_t extra_rows = 0;   // view rows absent from the join
+
+  bool consistent() const {
+    return missing_rows == 0 && extra_rows == 0 && marked_rows == 0;
+  }
+};
+
+struct ViewAuditReport {
+  std::vector<ViewAuditEntry> views;
+
+  bool consistent() const;
+  std::string ToString() const;
+};
+
+/// The defining join of `view` as a SELECT over its member base tables:
+/// members aliased t0 (root-most) .. tn, select list in view storage column
+/// order, WHERE joining each member to its parent along the FK edges.
+sql::SelectStatement ViewJoinStatement(const sql::ViewDef& view,
+                                       const sql::Catalog& catalog);
+
+/// ViewJoinStatement rendered as SQL text (diagnostics, docs).
+std::string ViewJoinSql(const sql::ViewDef& view, const sql::Catalog& catalog);
+
+/// Audits every view in the adapter's catalog: executes the defining join,
+/// scans the view storage, and multiset-compares the two row sets.
+StatusOr<ViewAuditReport> AuditViewConsistency(hbase::Session& s,
+                                               exec::TableAdapter* adapter);
+
+}  // namespace synergy::core

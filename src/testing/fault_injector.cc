@@ -1,0 +1,146 @@
+#include "testing/fault_injector.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace synergy::fault {
+
+namespace {
+
+constexpr const char* kNames[kNumFaultPoints] = {
+    "crash-after-wal-append", "crash-before-execute", "drop-lock-release",
+    "region-rpc-failure",     "region-rpc-ack-lost",  "wal-append-failure",
+};
+
+constexpr char kInjectedPrefix[] = "injected fault: ";
+
+}  // namespace
+
+const char* FaultPointName(FaultPoint point) {
+  const int i = static_cast<int>(point);
+  return (i >= 0 && i < kNumFaultPoints) ? kNames[i] : "unknown";
+}
+
+std::optional<FaultPoint> FaultPointFromName(std::string_view name) {
+  for (int i = 0; i < kNumFaultPoints; ++i) {
+    if (name == kNames[i]) return static_cast<FaultPoint>(i);
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::AddRule(FaultRule rule) {
+  std::lock_guard lock(mutex_);
+  rules_.push_back(ArmedRule{std::move(rule), 0, 0});
+}
+
+void FaultInjector::Arm(FaultPoint point, int skip_hits, int max_fires) {
+  FaultRule rule;
+  rule.point = point;
+  rule.skip_hits = skip_hits;
+  rule.max_fires = max_fires;
+  AddRule(std::move(rule));
+}
+
+void FaultInjector::Disarm(FaultPoint point) {
+  std::lock_guard lock(mutex_);
+  std::erase_if(rules_, [point](const ArmedRule& armed) {
+    return armed.rule.point == point;
+  });
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard lock(mutex_);
+  rules_.clear();
+}
+
+bool FaultInjector::ShouldFire(FaultPoint point, const FaultSite& site) {
+  std::lock_guard lock(mutex_);
+  ++hits_[static_cast<size_t>(point)];
+  bool fire = false;
+  for (ArmedRule& armed : rules_) {
+    const FaultRule& rule = armed.rule;
+    if (rule.point != point) continue;
+    if (!rule.table_prefix.empty() &&
+        site.table.substr(0, rule.table_prefix.size()) != rule.table_prefix) {
+      continue;
+    }
+    if (rule.server_id >= 0 && site.server_id != rule.server_id) continue;
+    const int64_t seen = armed.hits_seen++;
+    if (seen < rule.skip_hits) continue;
+    if (rule.max_fires >= 0 && armed.fires >= rule.max_fires) continue;
+    if (rule.probability < 1.0 &&
+        rng_.UniformReal(0.0, 1.0) >= rule.probability) {
+      continue;
+    }
+    ++armed.fires;
+    fire = true;
+  }
+  if (fire) ++fires_[static_cast<size_t>(point)];
+  return fire;
+}
+
+Status FaultInjector::InjectedFault(FaultPoint point) const {
+  return Status::Unavailable(kInjectedPrefix +
+                             std::string(FaultPointName(point)));
+}
+
+int64_t FaultInjector::HitCount(FaultPoint point) const {
+  std::lock_guard lock(mutex_);
+  return hits_[static_cast<size_t>(point)];
+}
+
+int64_t FaultInjector::FireCount(FaultPoint point) const {
+  std::lock_guard lock(mutex_);
+  return fires_[static_cast<size_t>(point)];
+}
+
+int64_t FaultInjector::TotalFires() const {
+  std::lock_guard lock(mutex_);
+  int64_t total = 0;
+  for (const int64_t f : fires_) total += f;
+  return total;
+}
+
+std::string FaultInjector::Report() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "fault injector (seed " << seed_ << "):";
+  for (int i = 0; i < kNumFaultPoints; ++i) {
+    if (hits_[static_cast<size_t>(i)] == 0) continue;
+    out << " " << kNames[i] << "=" << fires_[static_cast<size_t>(i)] << "/"
+        << hits_[static_cast<size_t>(i)];
+  }
+  return out.str();
+}
+
+bool IsInjectedFault(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message().rfind(kInjectedPrefix, 0) == 0;
+}
+
+uint64_t TestSeedFromEnv(uint64_t default_seed) {
+  const char* env = std::getenv("SYNERGY_TEST_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) return default_seed;
+  return static_cast<uint64_t>(parsed);
+}
+
+std::vector<uint64_t> TestSeedsFromEnv(std::vector<uint64_t> defaults) {
+  const char* env = std::getenv("SYNERGY_TEST_SEED");
+  if (env == nullptr || *env == '\0') return defaults;
+  const uint64_t sentinel = ~uint64_t{0};
+  const uint64_t seed = TestSeedFromEnv(sentinel);
+  if (seed == sentinel) return defaults;
+  return {seed};
+}
+
+int ChaosScaleFromEnv() {
+  const char* env = std::getenv("SYNERGY_CHAOS_ITERS");
+  if (env == nullptr || *env == '\0') return 1;
+  const int scale = std::atoi(env);
+  return scale >= 1 ? scale : 1;
+}
+
+}  // namespace synergy::fault

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "testing/fault_injector.h"
+
 namespace synergy::txn {
 
 namespace {
@@ -56,6 +58,14 @@ Status LockManager::Acquire(hbase::Session& s,
 Status LockManager::Release(hbase::Session& s,
                             const std::string& root_relation,
                             const std::string& root_key) {
+  if (faults_ != nullptr) {
+    const std::string lock_table = LockTableName(root_relation);
+    const fault::FaultSite site{lock_table, -1};
+    if (faults_->ShouldFire(fault::FaultPoint::kDropLockRelease, site)) {
+      // Release RPC lost in flight: the lock stays held in the store.
+      return faults_->InjectedFault(fault::FaultPoint::kDropLockRelease);
+    }
+  }
   SYNERGY_ASSIGN_OR_RETURN(
       ok, cluster_->CheckAndPut(s, LockTableName(root_relation), root_key,
                                 kLockColumn, std::string(kHeld), kFree));

@@ -13,7 +13,20 @@
 #include "common/status.h"
 #include "hbase/cluster.h"
 
+namespace synergy::fault {
+class FaultInjector;
+}  // namespace synergy::fault
+
 namespace synergy::txn {
+
+/// Names the single hierarchical lock a write transaction holds: the row of
+/// the root relation whose tree the write touches.
+struct LockSpec {
+  std::string root_relation;
+  std::string root_key;  // encoded row key in the root's lock table
+
+  bool operator==(const LockSpec&) const = default;
+};
 
 class LockManager {
  public:
@@ -22,6 +35,11 @@ class LockManager {
   static std::string LockTableName(const std::string& root_relation) {
     return "__lock_" + root_relation;
   }
+
+  /// Installs (or clears) the fault injector consulted on Release: a fired
+  /// drop-lock-release fault loses the release RPC, leaving the lock held
+  /// (the caller is expected to treat this as its own crash).
+  void SetFaultInjector(fault::FaultInjector* faults) { faults_ = faults; }
 
   /// Creates the lock table for a root relation.
   Status CreateLockTable(const std::string& root_relation);
@@ -50,6 +68,7 @@ class LockManager {
 
  private:
   hbase::Cluster* cluster_;
+  fault::FaultInjector* faults_ = nullptr;
 };
 
 /// RAII guard: releases on destruction if still held.

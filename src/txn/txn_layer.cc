@@ -1,6 +1,23 @@
 #include "txn/txn_layer.h"
 
+#include "testing/fault_injector.h"
+
 namespace synergy::txn {
+
+void SlaveNode::SetFaultInjector(fault::FaultInjector* faults) {
+  faults_ = faults;
+  wal_->SetFaultInjector(faults);
+}
+
+Status SlaveNode::Crash(const std::string& reason) {
+  failed_.store(true);
+  return Status::Unavailable("slave " + std::to_string(id_) +
+                             " crashed: " + reason);
+}
+
+bool SlaveNode::Fire(fault::FaultPoint point) {
+  return faults_ != nullptr && faults_->ShouldFire(point);
+}
 
 StatusOr<int64_t> SlaveNode::ProcessWrite(hbase::Session& s,
                                           const std::string& payload,
@@ -8,7 +25,13 @@ StatusOr<int64_t> SlaveNode::ProcessWrite(hbase::Session& s,
                                           const WriteBody& body) {
   if (failed_.load()) return Status::Unavailable("slave is down");
   s.meter().Charge(cluster_->cost_model().txn_layer_dispatch_us);
-  const int64_t txn_id = wal_->Append(s, payload);
+  SYNERGY_ASSIGN_OR_RETURN(txn_id, wal_->Append(s, payload, lock));
+
+  if (Fire(fault::FaultPoint::kCrashAfterWalAppend)) {
+    // Died before acquiring the lock: nothing leaks, but the logged entry
+    // stays uncommitted, so failover re-applies the statement.
+    return Crash("after WAL append");
+  }
 
   LockGuard guard;
   if (lock.has_value()) {
@@ -17,16 +40,39 @@ StatusOr<int64_t> SlaveNode::ProcessWrite(hbase::Session& s,
     guard = LockGuard(locks_, &s, lock->root_relation, lock->root_key);
   }
 
-  if (crash_before_execute_.exchange(false)) {
-    failed_.store(true);
+  if (Fire(fault::FaultPoint::kCrashBeforeExecute)) {
     // The slave dies holding the lock: readers keep read-committed semantics
     // because writers cannot sneak in before recovery (§VIII-C).
     guard.Leak();
-    return Status::Unavailable("slave crashed mid-transaction");
+    return Crash("before execute (lock leaked)");
   }
 
-  SYNERGY_RETURN_IF_ERROR(body(s));
-  SYNERGY_RETURN_IF_ERROR(guard.ReleaseNow());
+  Status body_status = body(s);
+  if (!body_status.ok()) {
+    if (body_status.code() == StatusCode::kUnavailable) {
+      // The store became unreachable mid-transaction (e.g. an injected
+      // region fault): the slave cannot tell how much of the body applied,
+      // so it dies with the lock held and lets failover replay the entry.
+      guard.Leak();
+      return Crash("mid-transaction: " + body_status.message());
+    }
+    // Application-level failure: the write is rejected cleanly, the lock is
+    // released and the WAL entry stays uncommitted (replay is a no-op for
+    // invalid statements, which fail the same way again).
+    Status released = guard.ReleaseNow();
+    if (!released.ok()) {
+      return Crash("lock release lost: " + released.message());
+    }
+    return body_status;
+  }
+
+  Status released = guard.ReleaseNow();
+  if (!released.ok()) {
+    // The release RPC was lost: the slave dies holding the lock, with the
+    // entry uncommitted. Replay re-applies the (idempotent) body and frees
+    // the orphaned lock.
+    return Crash("lock release lost: " + released.message());
+  }
   wal_->MarkCommitted(txn_id);
   return txn_id;
 }
@@ -37,6 +83,11 @@ TxnLayer::TxnLayer(hbase::Cluster* cluster, LockManager* locks, int num_slaves)
     slaves_.push_back(
         std::make_unique<SlaveNode>(cluster_, locks_, next_slave_id_++));
   }
+}
+
+void TxnLayer::SetFaultInjector(fault::FaultInjector* faults) {
+  faults_ = faults;
+  for (auto& slave : slaves_) slave->SetFaultInjector(faults);
 }
 
 StatusOr<int64_t> TxnLayer::SubmitWrite(hbase::Session& s,
@@ -52,25 +103,31 @@ StatusOr<int64_t> TxnLayer::SubmitWrite(hbase::Session& s,
   return Status::Unavailable("no live slaves");
 }
 
-Status TxnLayer::DetectAndRecover(hbase::Session& s, const ReplayFn& replay,
-                                  const LockOfPayloadFn& lock_of) {
+Status TxnLayer::DetectAndRecover(hbase::Session& s, const ReplayFn& replay) {
   for (auto& slave : slaves_) {
     if (!slave->failed()) continue;
     // Start a replacement slave and replay the failed slave's uncommitted
-    // WAL suffix. Locks held by the dead slave are released after replay.
+    // WAL suffix. Locks recorded by the dead slave's entries are released
+    // after replay.
     auto replacement =
         std::make_unique<SlaveNode>(cluster_, locks_, next_slave_id_++);
+    replacement->SetFaultInjector(faults_);
     for (const WalEntry& entry : slave->wal()->UncommittedEntries()) {
-      SYNERGY_RETURN_IF_ERROR(replay(s, entry.payload));
-      if (lock_of) {
-        std::optional<LockSpec> lock = lock_of(entry.payload);
-        if (lock.has_value()) {
-          SYNERGY_ASSIGN_OR_RETURN(
-              held, locks_->IsHeld(s, lock->root_relation, lock->root_key));
-          if (held) {
-            SYNERGY_RETURN_IF_ERROR(
-                locks_->Release(s, lock->root_relation, lock->root_key));
-          }
+      const Status replayed = replay(s, entry.payload);
+      if (!replayed.ok()) {
+        // kUnavailable means the store itself is unreachable — recovery
+        // cannot proceed. Anything else is an application-level rejection:
+        // the statement failed the same way at original execution, so the
+        // entry is dropped (its lock still gets released below).
+        if (replayed.code() == StatusCode::kUnavailable) return replayed;
+      }
+      if (entry.lock.has_value()) {
+        SYNERGY_ASSIGN_OR_RETURN(
+            held,
+            locks_->IsHeld(s, entry.lock->root_relation, entry.lock->root_key));
+        if (held) {
+          SYNERGY_RETURN_IF_ERROR(locks_->Release(s, entry.lock->root_relation,
+                                                  entry.lock->root_key));
         }
       }
       slave->wal()->MarkCommitted(entry.txn_id);

@@ -9,6 +9,17 @@
 // replacement slave that replays the failed slave's uncommitted WAL suffix;
 // the root lock stays held across the failure, preserving read-committed
 // semantics (§VIII-C).
+//
+// Fault behaviour (driven by testing/fault_injector.h):
+//  - crash-after-wal-append / crash-before-execute kill the slave at the
+//    corresponding point of ProcessWrite (the latter while holding the lock).
+//  - A body that fails with kUnavailable (e.g. an injected region-RPC fault)
+//    is treated as the slave dying mid-transaction: the lock leaks and the
+//    WAL entry stays uncommitted for failover replay. Other body errors are
+//    application failures — the lock is released and the error propagated.
+//  - A lost lock release (drop-lock-release) after a successful body also
+//    kills the slave: the entry stays uncommitted so replay (idempotent)
+//    re-applies it and frees the orphaned lock.
 #pragma once
 
 #include <atomic>
@@ -23,12 +34,12 @@
 #include "txn/lock_manager.h"
 #include "txn/wal.h"
 
-namespace synergy::txn {
+namespace synergy::fault {
+class FaultInjector;
+enum class FaultPoint : int;
+}  // namespace synergy::fault
 
-struct LockSpec {
-  std::string root_relation;
-  std::string root_key;  // encoded row key in the root's lock table
-};
+namespace synergy::txn {
 
 /// The transaction body: performs the actual store updates. Invoked while
 /// the root lock is held.
@@ -47,21 +58,25 @@ class SlaveNode {
   bool failed() const { return failed_.load(); }
   std::shared_ptr<Wal> wal() const { return wal_; }
 
-  /// Arms a simulated crash: the next write fails after WAL append +
-  /// lock acquisition but before execution (lock intentionally leaked).
-  void InjectCrashBeforeExecute() { crash_before_execute_.store(true); }
+  /// Installs (or clears) the fault injector consulted at the slave's
+  /// crash points and by its WAL.
+  void SetFaultInjector(fault::FaultInjector* faults);
 
   StatusOr<int64_t> ProcessWrite(hbase::Session& s, const std::string& payload,
                                  const std::optional<LockSpec>& lock,
                                  const WriteBody& body);
 
  private:
+  /// Marks the slave dead and returns the Unavailable status the client sees.
+  Status Crash(const std::string& reason);
+  bool Fire(fault::FaultPoint point);
+
   hbase::Cluster* cluster_;
   LockManager* locks_;
   int id_;
   std::shared_ptr<Wal> wal_;
+  fault::FaultInjector* faults_ = nullptr;
   std::atomic<bool> failed_{false};
-  std::atomic<bool> crash_before_execute_{false};
 };
 
 /// Master: owns the slave pool, routes writes, performs failover.
@@ -70,6 +85,10 @@ class TxnLayer {
   TxnLayer(hbase::Cluster* cluster, LockManager* locks, int num_slaves = 1);
 
   LockManager* lock_manager() const { return locks_; }
+
+  /// Installs (or clears) the fault injector on every slave, including
+  /// replacements spawned by later failovers.
+  void SetFaultInjector(fault::FaultInjector* faults);
 
   /// Client entry point: forwards to a live slave (round robin).
   StatusOr<int64_t> SubmitWrite(hbase::Session& s, const std::string& payload,
@@ -80,16 +99,15 @@ class TxnLayer {
   int num_slaves() const { return static_cast<int>(slaves_.size()); }
 
   /// Master failure detection + recovery: replaces failed slaves with fresh
-  /// ones that replay the uncommitted WAL suffix via `replay`, releasing any
-  /// root locks named by `lock_of` for replayed payloads.
-  using LockOfPayloadFn =
-      std::function<std::optional<LockSpec>(const std::string& payload)>;
-  Status DetectAndRecover(hbase::Session& s, const ReplayFn& replay,
-                          const LockOfPayloadFn& lock_of);
+  /// ones that replay the uncommitted WAL suffix via `replay` (which must be
+  /// idempotent), then release the root lock each entry recorded if it is
+  /// still held by the dead slave.
+  Status DetectAndRecover(hbase::Session& s, const ReplayFn& replay);
 
  private:
   hbase::Cluster* cluster_;
   LockManager* locks_;
+  fault::FaultInjector* faults_ = nullptr;
   std::vector<std::unique_ptr<SlaveNode>> slaves_;
   std::atomic<size_t> next_slave_{0};
   int next_slave_id_ = 0;

@@ -1,12 +1,20 @@
 #include "txn/wal.h"
 
+#include "testing/fault_injector.h"
+
 namespace synergy::txn {
 
-int64_t Wal::Append(hbase::Session& s, const std::string& payload) {
+StatusOr<int64_t> Wal::Append(hbase::Session& s, const std::string& payload,
+                              std::optional<LockSpec> lock_spec) {
+  if (faults_ != nullptr &&
+      faults_->ShouldFire(fault::FaultPoint::kWalAppendFailure)) {
+    return faults_->InjectedFault(fault::FaultPoint::kWalAppendFailure);
+  }
   s.meter().Charge(model_->wal_append_us);
   std::lock_guard lock(mutex_);
   const int64_t id = next_id_++;
-  entries_.push_back(WalEntry{id, payload, /*committed=*/false});
+  entries_.push_back(
+      WalEntry{id, payload, std::move(lock_spec), /*committed=*/false});
   return id;
 }
 

@@ -8,17 +8,27 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "hbase/cluster.h"
+#include "txn/lock_manager.h"
+
+namespace synergy::fault {
+class FaultInjector;
+}  // namespace synergy::fault
 
 namespace synergy::txn {
 
 struct WalEntry {
   int64_t txn_id = 0;
   std::string payload;  // statement text + encoded params
+  // Root lock the transaction holds while executing. Recorded so failover
+  // can release orphaned locks without re-deriving them from the payload
+  // (which is impossible for deletes: the root row may already be gone).
+  std::optional<LockSpec> lock;
   bool committed = false;
 };
 
@@ -26,8 +36,13 @@ class Wal {
  public:
   explicit Wal(const sim::CostModel* model) : model_(model) {}
 
+  /// Installs (or clears) the fault injector consulted on Append: a fired
+  /// wal-append-failure fault fails the append before anything is logged.
+  void SetFaultInjector(fault::FaultInjector* faults) { faults_ = faults; }
+
   /// Appends an entry (charging the WAL sync cost) and returns its id.
-  int64_t Append(hbase::Session& s, const std::string& payload);
+  StatusOr<int64_t> Append(hbase::Session& s, const std::string& payload,
+                           std::optional<LockSpec> lock = std::nullopt);
 
   /// Marks a transaction committed. Unknown ids are ignored (idempotent).
   void MarkCommitted(int64_t txn_id);
@@ -40,6 +55,7 @@ class Wal {
 
  private:
   const sim::CostModel* model_;
+  fault::FaultInjector* faults_ = nullptr;
   mutable std::mutex mutex_;
   std::vector<WalEntry> entries_;
   int64_t next_id_ = 1;

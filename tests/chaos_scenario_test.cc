@@ -1,0 +1,307 @@
+// Chaos scenario suite: write storms against hot rows under injected faults
+// (slave crashes, dropped lock releases, region-RPC loss, region-server
+// outages, WAL failures), asserting after every recovery that each
+// materialized view equals the join of its base tables and no dirty marks
+// or orphaned locks remain.
+//
+// Every scenario is deterministic in a single seed. A failing run prints
+// the seed; replay it with SYNERGY_TEST_SEED=<n> (see docs/TESTING.md).
+// SYNERGY_CHAOS_ITERS=<k> multiplies the round count (nightly CI).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "company_fixture.h"
+#include "synergy/synergy_system.h"
+#include "synergy/view_audit.h"
+#include "systems/synergy_wrapper.h"
+#include "testing/fault_injector.h"
+#include "tpcw/generator.h"
+#include "tpcw/workload.h"
+
+namespace synergy::core {
+namespace {
+
+using fault::FaultPoint;
+
+/// True for the errors a client legitimately sees during a fault storm:
+/// crashed/unreachable slaves and lock-acquisition timeouts against locks
+/// a dead slave still holds.
+bool TolerableStormError(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kAborted;
+}
+
+class ChaosScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    system_ = std::make_unique<SynergySystem>(
+        &cluster_, SynergyConfig{.roots = testing::CompanyRoots(),
+                                 .txn_slaves = 2});
+    ASSERT_TRUE(
+        system_->Build(testing::CompanyCatalog(), testing::CompanyWorkload())
+            .ok());
+    ASSERT_TRUE(system_->CreateStorage().ok());
+    hbase::Session s(&cluster_);
+    for (int a = 1; a <= 6; ++a) {
+      ASSERT_TRUE(system_
+                      ->Load(s, "Address",
+                             {{"AID", Value(a)},
+                              {"Street", Value("s" + std::to_string(a))},
+                              {"City", Value("c")},
+                              {"Zip", Value("z")}})
+                      .ok());
+    }
+    for (int d = 1; d <= 2; ++d) {
+      ASSERT_TRUE(system_
+                      ->Load(s, "Department",
+                             {{"DNo", Value(d)}, {"DName", Value("d")}})
+                      .ok());
+    }
+    for (int e = 1; e <= 4; ++e) {
+      ASSERT_TRUE(system_
+                      ->Load(s, "Employee",
+                             {{"EID", Value(e)},
+                              {"EName", Value("e" + std::to_string(e))},
+                              {"EHome_AID", Value(e)},
+                              {"EOffice_AID", Value(5)},
+                              {"E_DNo", Value(e % 2 + 1)}})
+                      .ok());
+    }
+  }
+
+  /// One injector per scenario, seeded from SYNERGY_TEST_SEED (or the
+  /// scenario default). Rounds scale with SYNERGY_CHAOS_ITERS.
+  void InstallInjector(uint64_t default_seed) {
+    seed_ = fault::TestSeedFromEnv(default_seed);
+    faults_ = std::make_unique<fault::FaultInjector>(seed_);
+    system_->SetFaultInjector(faults_.get());
+    rng_ = std::make_unique<Rng>(seed_);
+    rounds_ = 3 * fault::ChaosScaleFromEnv();
+  }
+
+  std::string ReplayHint() const {
+    return "replay with SYNERGY_TEST_SEED=" + std::to_string(seed_) + "; " +
+           faults_->Report();
+  }
+
+  /// Hot-row write storm: random inserts/deletes/updates on Works_On plus
+  /// Employee renames, all against the same handful of rows. Crashed or
+  /// lock-blocked writes are expected; any other failure is a bug.
+  void Storm(int ops) {
+    hbase::Session s(&cluster_);
+    for (int op = 0; op < ops; ++op) {
+      const int eid = static_cast<int>(rng_->Uniform(1, 4));
+      const int pno = static_cast<int>(rng_->Uniform(1, 5));
+      Status status = Status::Ok();
+      switch (rng_->Next() % 4) {
+        case 0:
+          status = Write("INSERT INTO Works_On (WO_EID, WO_PNo, Hours) "
+                         "VALUES (?, ?, ?)",
+                         {Value(eid), Value(pno),
+                          Value(static_cast<int>(rng_->Uniform(1, 99)))});
+          break;
+        case 1:
+          status = Write("DELETE FROM Works_On WHERE WO_EID = ? AND "
+                         "WO_PNo = ?",
+                         {Value(eid), Value(pno)});
+          break;
+        case 2:
+          status = Write("UPDATE Works_On SET Hours = ? WHERE WO_EID = ? "
+                         "AND WO_PNo = ?",
+                         {Value(static_cast<int>(rng_->Uniform(1, 99))),
+                          Value(eid), Value(pno)});
+          break;
+        case 3:
+          status = Write("UPDATE Employee SET EName = ? WHERE EID = ?",
+                         {Value("r" + std::to_string(op)), Value(eid)});
+          break;
+      }
+      ASSERT_TRUE(status.ok() || TolerableStormError(status))
+          << status << "\n" << ReplayHint();
+    }
+  }
+
+  Status Write(const std::string& sql, std::vector<Value> params) {
+    stmts_.push_back(sql::MustParse(sql));
+    hbase::Session s(&cluster_);
+    return system_->ExecuteWrite(s, stmts_.back(), params).status();
+  }
+
+  /// Disarms all faults, runs master failover + WAL replay, then audits
+  /// every view against its defining base join and checks that writes make
+  /// progress again (no orphaned locks, live slaves).
+  void RecoverAndAudit() {
+    faults_->DisarmAll();
+    hbase::Session s(&cluster_);
+    ASSERT_TRUE(system_->txn_layer()
+                    ->DetectAndRecover(
+                        s,
+                        [&](hbase::Session& rs, const std::string& payload) {
+                          return system_->ReplayPayload(rs, payload);
+                        })
+                    .ok())
+        << ReplayHint();
+    auto report = AuditViewConsistency(s, system_->adapter());
+    ASSERT_TRUE(report.ok()) << report.status() << "\n" << ReplayHint();
+    EXPECT_TRUE(report->consistent())
+        << report->ToString() << ReplayHint();
+    // Post-recovery progress: a write to the hottest root must succeed.
+    const Status progress =
+        Write("UPDATE Employee SET EName = ? WHERE EID = ?",
+              {Value("recovered"), Value(1)});
+    EXPECT_TRUE(progress.ok()) << progress << "\n" << ReplayHint();
+  }
+
+  /// Deterministic single-point scenario: each round lets a few writes
+  /// pass, fires the fault, keeps storming, then recovers and audits.
+  void RunDeterministicScenario(FaultPoint point, uint64_t default_seed) {
+    InstallInjector(default_seed);
+    for (int round = 0; round < rounds_; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      faults_->Arm(point, /*skip_hits=*/round, /*max_fires=*/2);
+      Storm(30);
+      RecoverAndAudit();
+    }
+  }
+
+  /// Probabilistic scenario: every hit of `point` fires with `probability`
+  /// (optionally filtered), drawn from the seeded RNG.
+  void RunProbabilisticScenario(fault::FaultRule rule, uint64_t default_seed) {
+    InstallInjector(default_seed);
+    for (int round = 0; round < rounds_; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      faults_->AddRule(rule);
+      Storm(30);
+      RecoverAndAudit();
+    }
+  }
+
+  hbase::Cluster cluster_;
+  std::unique_ptr<SynergySystem> system_;
+  std::unique_ptr<fault::FaultInjector> faults_;
+  std::unique_ptr<Rng> rng_;
+  std::vector<sql::Statement> stmts_;
+  uint64_t seed_ = 0;
+  int rounds_ = 1;
+};
+
+// --- Scenario 1: slave dies holding the root lock, before the body runs.
+TEST_F(ChaosScenarioTest, CrashBeforeExecuteStorm) {
+  RunDeterministicScenario(FaultPoint::kCrashBeforeExecute, 101);
+}
+
+// --- Scenario 2: slave dies right after the WAL append (no lock held).
+TEST_F(ChaosScenarioTest, CrashAfterWalAppendStorm) {
+  RunDeterministicScenario(FaultPoint::kCrashAfterWalAppend, 102);
+}
+
+// --- Scenario 3: the lock-release RPC is lost after a successful body.
+TEST_F(ChaosScenarioTest, DropLockReleaseStorm) {
+  RunDeterministicScenario(FaultPoint::kDropLockRelease, 103);
+}
+
+// --- Scenario 4: WAL appends fail (writes rejected before any state
+// change); the system must stay consistent and keep accepting writes.
+TEST_F(ChaosScenarioTest, WalAppendFailureStorm) {
+  RunDeterministicScenario(FaultPoint::kWalAppendFailure, 104);
+}
+
+// --- Scenario 5: store RPCs are randomly lost before reaching the region;
+// mid-body losses kill the slave, which must heal via WAL replay.
+TEST_F(ChaosScenarioTest, RegionRpcFailureStorm) {
+  fault::FaultRule rule;
+  rule.point = FaultPoint::kRegionRpcFailure;
+  rule.probability = 0.03;
+  RunProbabilisticScenario(rule, 105);
+}
+
+// --- Scenario 6: mutations are applied but their acknowledgements are
+// lost; replay must be idempotent over the already-applied writes.
+TEST_F(ChaosScenarioTest, RegionRpcAckLostStorm) {
+  fault::FaultRule rule;
+  rule.point = FaultPoint::kRegionRpcAckLost;
+  rule.probability = 0.05;
+  RunProbabilisticScenario(rule, 106);
+}
+
+// --- Scenario 7: a whole region server goes dark (every RPC to its regions
+// fails) while writers hammer the hot rows; after the outage the views must
+// equal their joins again.
+TEST_F(ChaosScenarioTest, RegionServerOutage) {
+  fault::FaultRule rule;
+  rule.point = FaultPoint::kRegionRpcFailure;
+  rule.server_id = 1;
+  RunProbabilisticScenario(rule, 107);
+}
+
+// --- Scenario 8: faults aimed only at the lock tables (the hierarchical
+// locking machinery itself is the failure domain).
+TEST_F(ChaosScenarioTest, LockTableRpcFailureStorm) {
+  fault::FaultRule rule;
+  rule.point = FaultPoint::kRegionRpcFailure;
+  rule.probability = 0.2;
+  rule.table_prefix = "__lock_";
+  RunProbabilisticScenario(rule, 108);
+}
+
+// --- Scenario 9: TPC-W write storm (W1-W13 hot-row traffic) under a mix of
+// every fault point at once, on the full paper schema with views.
+TEST(ChaosTpcwTest, MixedFaultWriteStorm) {
+  systems::SynergyWrapper wrapper;
+  tpcw::ScaleConfig scale;
+  scale.num_customers = 20;
+  ASSERT_TRUE(wrapper.Setup(scale).ok());
+
+  const uint64_t seed = fault::TestSeedFromEnv(20170904);
+  fault::FaultInjector faults(seed);
+  wrapper.system()->SetFaultInjector(&faults);
+  tpcw::ParamProvider params(scale, seed);
+  const std::vector<std::string> writes = tpcw::WriteStatementIds();
+  hbase::Session s(wrapper.system()->adapter()->cluster());
+  const std::string hint = "replay with SYNERGY_TEST_SEED=" +
+                           std::to_string(seed);
+
+  const int rounds = 3 * fault::ChaosScaleFromEnv();
+  for (int round = 0; round < rounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    for (const FaultPoint point :
+         {FaultPoint::kCrashBeforeExecute, FaultPoint::kCrashAfterWalAppend,
+          FaultPoint::kDropLockRelease, FaultPoint::kRegionRpcFailure,
+          FaultPoint::kRegionRpcAckLost, FaultPoint::kWalAppendFailure}) {
+      fault::FaultRule rule;
+      rule.point = point;
+      rule.probability = 0.02;
+      faults.AddRule(rule);
+    }
+    for (int rep = 0; rep < 2; ++rep) {
+      for (const std::string& stmt_id : writes) {
+        auto p = params.ParamsFor(stmt_id);
+        ASSERT_TRUE(p.ok()) << stmt_id;
+        auto result = wrapper.Execute(stmt_id, *p);
+        ASSERT_TRUE(result.ok() || TolerableStormError(result.status()))
+            << stmt_id << ": " << result.status() << "\n" << hint << "; "
+            << faults.Report();
+      }
+    }
+    faults.DisarmAll();
+    ASSERT_TRUE(wrapper.system()
+                    ->txn_layer()
+                    ->DetectAndRecover(
+                        s,
+                        [&](hbase::Session& rs, const std::string& payload) {
+                          return wrapper.system()->ReplayPayload(rs, payload);
+                        })
+                    .ok())
+        << hint << "; " << faults.Report();
+    auto report = AuditViewConsistency(s, wrapper.system()->adapter());
+    ASSERT_TRUE(report.ok()) << report.status() << "\n" << hint;
+    EXPECT_TRUE(report->consistent())
+        << report->ToString() << hint << "; " << faults.Report();
+  }
+}
+
+}  // namespace
+}  // namespace synergy::core

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "company_fixture.h"
+#include "testing/fault_injector.h"
 
 namespace synergy::core {
 namespace {
@@ -257,7 +258,9 @@ TEST_F(SynergySystemTest, MultiRowWriteRejected) {
 
 TEST_F(SynergySystemTest, WalReplayAfterCrashRestoresWrite) {
   hbase::Session s(&cluster_);
-  system_->txn_layer()->slave(0)->InjectCrashBeforeExecute();
+  fault::FaultInjector faults(7);
+  system_->SetFaultInjector(&faults);
+  faults.Arm(fault::FaultPoint::kCrashBeforeExecute);
   auto stmt = sql::MustParse(
       "INSERT INTO Works_On (WO_EID, WO_PNo, Hours) VALUES (?, ?, ?)");
   auto result = system_->ExecuteWrite(s, stmt, {Value(3), Value(7), Value(1)});
@@ -268,9 +271,9 @@ TEST_F(SynergySystemTest, WalReplayAfterCrashRestoresWrite) {
                       s,
                       [&](hbase::Session& rs, const std::string& payload) {
                         return system_->ReplayPayload(rs, payload);
-                      },
-                      nullptr)
+                      })
                   .ok());
+  system_->SetFaultInjector(nullptr);
   EXPECT_EQ(ViewRowCount("Employee-Works_On"), 6u);
   EXPECT_EQ(RunWorkloadQuery("W3", {Value(1)}).row_count, 1u);
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/fault_injector.h"
+
 namespace synergy::txn {
 namespace {
 
@@ -12,6 +14,13 @@ class TxnLayerTest : public ::testing::Test {
     locks_ = std::make_unique<LockManager>(&cluster_);
     ASSERT_TRUE(locks_->CreateLockTable("Root").ok());
     layer_ = std::make_unique<TxnLayer>(&cluster_, locks_.get(), 2);
+    layer_->SetFaultInjector(&faults_);
+  }
+
+  /// Arms a crash-before-execute on the next `count` writes (one per slave).
+  void CrashNextWrites(int count) {
+    faults_.Arm(fault::FaultPoint::kCrashBeforeExecute, /*skip_hits=*/0,
+                /*max_fires=*/count);
   }
 
   WriteBody PutBody(const std::string& key, const std::string& value) {
@@ -28,6 +37,7 @@ class TxnLayerTest : public ::testing::Test {
   }
 
   hbase::Cluster cluster_;
+  fault::FaultInjector faults_{42};
   std::unique_ptr<LockManager> locks_;
   std::unique_ptr<TxnLayer> layer_;
 };
@@ -69,9 +79,8 @@ TEST_F(TxnLayerTest, RoundRobinAcrossSlaves) {
 
 TEST_F(TxnLayerTest, CrashLeavesLockHeldUntilRecovery) {
   hbase::Session s(&cluster_);
-  layer_->slave(0)->InjectCrashBeforeExecute();
-  layer_->slave(1)->InjectCrashBeforeExecute();
-  // One of the two slaves takes this write and crashes.
+  CrashNextWrites(1);
+  // The slave that takes this write crashes holding the lock.
   auto result = layer_->SubmitWrite(s, "put kc vc", LockSpec{"Root", "rk"},
                                     PutBody("kc", "vc"));
   EXPECT_FALSE(result.ok());
@@ -81,16 +90,14 @@ TEST_F(TxnLayerTest, CrashLeavesLockHeldUntilRecovery) {
   EXPECT_TRUE(*held);  // read-committed preserved during failure (§VIII-C)
   EXPECT_EQ(ReadData("kc"), "<missing>");
 
-  // Master failover: replay the WAL suffix, then release the lock.
+  // Master failover: replay the WAL suffix, then release the lock the
+  // entry recorded.
   ASSERT_TRUE(layer_
                   ->DetectAndRecover(
                       s,
                       [&](hbase::Session& rs, const std::string& payload) {
                         EXPECT_EQ(payload, "put kc vc");
                         return cluster_.Put(rs, "data", "kc", {{"v", "vc"}});
-                      },
-                      [](const std::string&) {
-                        return std::optional<LockSpec>(LockSpec{"Root", "rk"});
                       })
                   .ok());
   EXPECT_EQ(ReadData("kc"), "vc");
@@ -101,8 +108,7 @@ TEST_F(TxnLayerTest, CrashLeavesLockHeldUntilRecovery) {
 
 TEST_F(TxnLayerTest, RecoveredLayerAcceptsNewWrites) {
   hbase::Session s(&cluster_);
-  layer_->slave(0)->InjectCrashBeforeExecute();
-  layer_->slave(1)->InjectCrashBeforeExecute();
+  CrashNextWrites(2);
   (void)layer_->SubmitWrite(s, "w", std::nullopt, PutBody("k", "v"));
   (void)layer_->SubmitWrite(s, "w2", std::nullopt, PutBody("k2", "v2"));
   ASSERT_TRUE(layer_
@@ -111,8 +117,7 @@ TEST_F(TxnLayerTest, RecoveredLayerAcceptsNewWrites) {
                       [&](hbase::Session& rs, const std::string&) {
                         return cluster_.Put(rs, "data", "replayed",
                                             {{"v", "1"}});
-                      },
-                      nullptr)
+                      })
                   .ok());
   ASSERT_TRUE(
       layer_->SubmitWrite(s, "w3", std::nullopt, PutBody("k3", "v3")).ok());
@@ -121,8 +126,7 @@ TEST_F(TxnLayerTest, RecoveredLayerAcceptsNewWrites) {
 
 TEST_F(TxnLayerTest, AllSlavesDownIsUnavailable) {
   hbase::Session s(&cluster_);
-  layer_->slave(0)->InjectCrashBeforeExecute();
-  layer_->slave(1)->InjectCrashBeforeExecute();
+  CrashNextWrites(2);
   (void)layer_->SubmitWrite(s, "a", std::nullopt, PutBody("a", "1"));
   (void)layer_->SubmitWrite(s, "b", std::nullopt, PutBody("b", "1"));
   auto r = layer_->SubmitWrite(s, "c", std::nullopt, PutBody("c", "1"));

@@ -1,11 +1,18 @@
 // Property test: after any random interleaving of inserts, deletes and
 // updates against the base tables, every materialized view equals the join
 // of its member base tables — the core correctness invariant of §VII.
+//
+// The second suite repeats the property under randomized fault schedules
+// (slave crashes, RPC loss, dropped lock releases) with recovery between
+// rounds. Failing instances print their seed; export SYNERGY_TEST_SEED=<n>
+// to replay exactly that run (see docs/TESTING.md).
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "company_fixture.h"
 #include "synergy/synergy_system.h"
+#include "synergy/view_audit.h"
+#include "testing/fault_injector.h"
 
 namespace synergy::core {
 namespace {
@@ -14,7 +21,8 @@ class ViewConsistencyPropertyTest : public ::testing::TestWithParam<uint64_t> {
  protected:
   void SetUp() override {
     system_ = std::make_unique<SynergySystem>(
-        &cluster_, SynergyConfig{.roots = testing::CompanyRoots()});
+        &cluster_, SynergyConfig{.roots = testing::CompanyRoots(),
+                                 .txn_slaves = txn_slaves_});
     ASSERT_TRUE(
         system_->Build(testing::CompanyCatalog(), testing::CompanyWorkload())
             .ok());
@@ -75,6 +83,7 @@ class ViewConsistencyPropertyTest : public ::testing::TestWithParam<uint64_t> {
   hbase::Cluster cluster_;
   std::unique_ptr<SynergySystem> system_;
   std::vector<sql::Statement> stmts_;
+  int txn_slaves_ = 1;
 };
 
 TEST_P(ViewConsistencyPropertyTest, ViewsEqualBaseJoinsAfterRandomOps) {
@@ -149,6 +158,105 @@ TEST_P(ViewConsistencyPropertyTest, ViewsEqualBaseJoinsAfterRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ViewConsistencyPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+// ---------------------------------------------------------------------------
+// Same property, but under randomized fault schedules: each round arms a
+// random mix of probabilistic fault rules, runs random mutations (tolerating
+// fault-induced rejections), disarms, recovers via WAL replay, and audits
+// every view against its defining base join.
+// ---------------------------------------------------------------------------
+
+class ViewConsistencyFaultPropertyTest : public ViewConsistencyPropertyTest {
+ protected:
+  ViewConsistencyFaultPropertyTest() { txn_slaves_ = 2; }
+
+  static bool TolerableFaultError(const Status& status) {
+    return status.code() == StatusCode::kUnavailable ||
+           status.code() == StatusCode::kAborted;
+  }
+};
+
+TEST_P(ViewConsistencyFaultPropertyTest, ViewsEqualBaseJoinsUnderFaults) {
+  const uint64_t seed = GetParam();
+  SCOPED_TRACE("replay with SYNERGY_TEST_SEED=" + std::to_string(seed));
+  Rng rng(seed);
+  fault::FaultInjector faults(seed);
+  system_->SetFaultInjector(&faults);
+  hbase::Session s(&cluster_);
+
+  const int rounds = 3 * fault::ChaosScaleFromEnv();
+  for (int round = 0; round < rounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    // A random schedule: 1-3 probabilistic rules over random fault points.
+    const int num_rules = 1 + static_cast<int>(rng.Next() % 3);
+    for (int r = 0; r < num_rules; ++r) {
+      fault::FaultRule rule;
+      rule.point = static_cast<fault::FaultPoint>(
+          rng.Next() % static_cast<uint64_t>(fault::kNumFaultPoints));
+      rule.probability = rng.UniformReal(0.01, 0.08);
+      faults.AddRule(rule);
+    }
+
+    for (int op = 0; op < 40; ++op) {
+      const int eid = static_cast<int>(rng.Uniform(1, 4));
+      const int pno = static_cast<int>(rng.Uniform(1, 6));
+      Status status = Status::Ok();
+      switch (rng.Next() % 4) {
+        case 0:
+          status = Write(s,
+                         "INSERT INTO Works_On (WO_EID, WO_PNo, Hours) "
+                         "VALUES (?, ?, ?)",
+                         {Value(eid), Value(pno),
+                          Value(static_cast<int>(rng.Uniform(1, 99)))});
+          break;
+        case 1:
+          status = Write(s,
+                         "DELETE FROM Works_On WHERE WO_EID = ? AND "
+                         "WO_PNo = ?",
+                         {Value(eid), Value(pno)});
+          break;
+        case 2:
+          status = Write(s,
+                         "UPDATE Works_On SET Hours = ? WHERE WO_EID = ? "
+                         "AND WO_PNo = ?",
+                         {Value(static_cast<int>(rng.Uniform(1, 99))),
+                          Value(eid), Value(pno)});
+          break;
+        case 3:
+          status = Write(s, "UPDATE Employee SET EName = ? WHERE EID = ?",
+                         {Value("f" + std::to_string(round * 100 + op)),
+                          Value(eid)});
+          break;
+      }
+      ASSERT_TRUE(status.ok() || TolerableFaultError(status))
+          << status << "\n" << faults.Report();
+    }
+
+    faults.DisarmAll();
+    ASSERT_TRUE(system_->txn_layer()
+                    ->DetectAndRecover(
+                        s,
+                        [&](hbase::Session& rs, const std::string& payload) {
+                          return system_->ReplayPayload(rs, payload);
+                        })
+                    .ok())
+        << faults.Report();
+    auto report = AuditViewConsistency(s, system_->adapter());
+    ASSERT_TRUE(report.ok()) << report.status() << "\n" << faults.Report();
+    ASSERT_TRUE(report->consistent())
+        << report->ToString() << faults.Report();
+  }
+
+  // Post-storm progress: the system must still accept writes cleanly.
+  EXPECT_TRUE(Write(s, "UPDATE Employee SET EName = ? WHERE EID = ?",
+                    {Value("done"), Value(1)})
+                  .ok());
+}
+
+// SYNERGY_TEST_SEED=<n> collapses the suite to the single failing seed.
+INSTANTIATE_TEST_SUITE_P(
+    FaultSeeds, ViewConsistencyFaultPropertyTest,
+    ::testing::ValuesIn(fault::TestSeedsFromEnv({7, 11, 23, 77, 2017})));
 
 }  // namespace
 }  // namespace synergy::core
