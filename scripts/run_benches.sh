@@ -26,6 +26,13 @@ mkdir -p "$out_dir"
 # Stale JSON from a previous invocation must not be re-appended to the
 # trajectory under this run's git rev/label.
 rm -f "$out_dir/bench_micro_components.json"
+
+# Benches that append their own trajectory datapoints (bench_concurrent_tpcw)
+# record the rev they measured. A dirty tree (incl. staged/untracked files)
+# means the measured code is not the commit's code.
+git_rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+[[ -z "$(git status --porcelain 2>/dev/null)" ]] || git_rev="${git_rev}-dirty"
+export SYNERGY_GIT_REV="$git_rev"
 shopt -s nullglob
 benches=("$build_dir"/bench_*)
 if [[ ${#benches[@]} -eq 0 ]]; then
@@ -53,10 +60,6 @@ done
 # benchmarks. This file is committed so the perf trajectory survives in git.
 # --------------------------------------------------------------------------
 if [[ -f "$out_dir/bench_micro_components.json" ]]; then
-  git_rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-  # A dirty tree (incl. staged/untracked files) means the measured code is
-  # not the commit's code.
-  [[ -z "$(git status --porcelain 2>/dev/null)" ]] || git_rev="${git_rev}-dirty"
   python3 - "$out_dir" "$git_rev" <<'PYEOF'
 import json, sys, datetime, os
 

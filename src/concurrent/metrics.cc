@@ -1,0 +1,26 @@
+#include "concurrent/metrics.h"
+
+#include <algorithm>
+
+namespace synergy::concurrent {
+
+WorkloadReport Aggregate(const std::vector<ThreadMetrics>& per_thread,
+                         double wall_seconds) {
+  WorkloadReport report;
+  report.threads = static_cast<int>(per_thread.size());
+  report.wall_seconds = wall_seconds;
+  double max_busy_us = 0.0;
+  for (const ThreadMetrics& t : per_thread) {
+    report.total_ops += t.ops;
+    report.total_errors += t.errors;
+    report.latency_us.Merge(t.latency_us);
+    max_busy_us = std::max(max_busy_us, t.busy_virtual_us);
+    if (report.first_error.ok() && !t.first_error.ok()) {
+      report.first_error = t.first_error;
+    }
+  }
+  report.virtual_seconds = max_busy_us / 1e6;
+  return report;
+}
+
+}  // namespace synergy::concurrent

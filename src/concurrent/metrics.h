@@ -1,0 +1,67 @@
+// Metrics collection for concurrent workload runs.
+//
+// Each worker thread owns a ThreadMetrics instance exclusively while its
+// closed loop runs — no shared state, no locks, no atomics on the op path.
+// After the workers join, the driver merges them into a WorkloadReport.
+//
+// Throughput is reported in *virtual* time: the run's duration is the
+// maximum over threads of per-thread virtual busy time (the slowest client
+// determines when the run "ends", exactly as wall-clock would on real
+// hardware). On this repo's cost model that makes scaling curves
+// host-independent: threads that contend on the same root lock accumulate
+// retry charges, so contention lowers virtual throughput the same way it
+// would on a real cluster. Wall-clock throughput is also recorded, but on a
+// single-vCPU host it measures the simulator, not the modeled system.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace synergy::concurrent {
+
+/// Per-worker-thread counters; exclusively owned by one thread during the
+/// run, merged after join.
+struct ThreadMetrics {
+  LatencyHistogram latency_us;  // virtual µs per completed operation
+  size_t ops = 0;               // completed (successful) operations
+  size_t errors = 0;            // failed operations
+  double busy_virtual_us = 0.0; // sum of per-op virtual time on this thread
+  Status first_error = Status::Ok();
+};
+
+/// Aggregate view of one concurrent run.
+struct WorkloadReport {
+  int threads = 0;
+  size_t total_ops = 0;
+  size_t total_errors = 0;
+  double wall_seconds = 0.0;
+  double virtual_seconds = 0.0;  // max over threads of busy virtual time
+  LatencyHistogram latency_us;   // merged across all threads
+  Status first_error = Status::Ok();
+
+  /// Operations per simulated second (the primary, host-independent figure).
+  double virtual_throughput() const {
+    return virtual_seconds > 0.0
+               ? static_cast<double>(total_ops) / virtual_seconds
+               : 0.0;
+  }
+  /// Operations per wall second (simulator speed; secondary).
+  double wall_throughput() const {
+    return wall_seconds > 0.0 ? static_cast<double>(total_ops) / wall_seconds
+                              : 0.0;
+  }
+
+  double p50_ms() const { return latency_us.Percentile(50) / 1000.0; }
+  double p95_ms() const { return latency_us.Percentile(95) / 1000.0; }
+  double p99_ms() const { return latency_us.Percentile(99) / 1000.0; }
+  double mean_ms() const { return latency_us.mean() / 1000.0; }
+};
+
+/// Merges per-thread metrics into a run report.
+WorkloadReport Aggregate(const std::vector<ThreadMetrics>& per_thread,
+                         double wall_seconds);
+
+}  // namespace synergy::concurrent

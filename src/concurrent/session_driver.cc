@@ -1,0 +1,44 @@
+#include "concurrent/session_driver.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace synergy::concurrent {
+
+WorkloadReport RunClosedLoop(const DriverConfig& config,
+                             const SessionFactory& factory) {
+  const int n = config.threads > 0 ? config.threads : 1;
+  std::vector<ThreadMetrics> metrics(static_cast<size_t>(n));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(n));
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int tid = 0; tid < n; ++tid) {
+    workers.emplace_back([&, tid] {
+      ThreadMetrics& m = metrics[static_cast<size_t>(tid)];
+      const uint64_t seed = config.base_seed ^ static_cast<uint64_t>(tid);
+      SessionOp op = factory(tid, seed);
+      for (size_t i = 0; i < config.ops_per_thread; ++i) {
+        StatusOr<double> cost = op(i);
+        if (!cost.ok()) {
+          ++m.errors;
+          if (m.first_error.ok()) m.first_error = cost.status();
+          continue;
+        }
+        ++m.ops;
+        m.busy_virtual_us += *cost;
+        m.latency_us.Add(*cost);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  return Aggregate(metrics, wall_seconds);
+}
+
+}  // namespace synergy::concurrent

@@ -1,0 +1,49 @@
+// Closed-loop worker-thread driver for concurrent sessions.
+//
+// RunClosedLoop spawns N OS threads. Each thread asks the factory for its
+// own op closure (the factory runs *on the worker thread*, so any state it
+// builds — RNG, parameter provider, session — is thread-local by
+// construction), then executes a fixed number of operations back-to-back
+// with zero think time. Per-thread determinism comes from the seed
+// convention: everything a thread randomizes must derive from
+// `base_seed ^ thread_id`, so a run is replayable at any thread count.
+//
+// The driver deliberately knows nothing about SQL, TPC-W, or the systems
+// under test: an operation is just a callback returning the op's virtual
+// cost in microseconds (or an error). tpcw_mix.h builds TPC-W mixes on top;
+// systems/harness.cc adapts EvaluatedSystem. This keeps the module's
+// dependencies to common/ only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "concurrent/metrics.h"
+
+namespace synergy::concurrent {
+
+struct DriverConfig {
+  int threads = 1;
+  size_t ops_per_thread = 100;
+  /// Per-thread seed = base_seed ^ thread_id (thread ids are 0..N-1).
+  uint64_t base_seed = 7;
+};
+
+/// One client operation; returns the virtual µs the op cost. Runs on a
+/// worker thread, `op_index` counts that thread's ops from 0.
+using SessionOp = std::function<StatusOr<double>(size_t op_index)>;
+
+/// Builds the op closure for one worker thread; invoked on the worker
+/// thread itself. Receives the thread id and the thread's seed
+/// (base_seed ^ thread_id).
+using SessionFactory = std::function<SessionOp(int thread_id, uint64_t seed)>;
+
+/// Runs the closed loop and aggregates per-thread metrics. Operation errors
+/// are counted (first one retained in the report), not fatal: a contended
+/// run where some writes abort still reports the throughput it achieved.
+WorkloadReport RunClosedLoop(const DriverConfig& config,
+                             const SessionFactory& factory);
+
+}  // namespace synergy::concurrent

@@ -1,0 +1,68 @@
+#include "concurrent/tpcw_mix.h"
+
+#include <memory>
+
+#include "common/rng.h"
+
+namespace synergy::concurrent {
+
+MixConfig ReadOnlyMix() {
+  return MixConfig{
+      .name = "read",
+      .read_fraction = 1.0,
+      .reads = {"S1", "S2", "S6", "S7", "Q1", "Q8"},
+      .writes = {},
+  };
+}
+
+MixConfig MixedMix(double read_fraction) {
+  return MixConfig{
+      .name = "mixed",
+      .read_fraction = read_fraction,
+      .reads = {"S1", "S2", "S6", "S7", "Q1", "Q8"},
+      .writes = {"W1", "W3", "W6", "W7", "W11", "W13"},
+  };
+}
+
+MixConfig WriteHeavyMix() {
+  return MixConfig{
+      .name = "write",
+      .read_fraction = 0.2,
+      .reads = {"S1", "S2", "S7"},
+      .writes = {"W1", "W3", "W6", "W7", "W11", "W13"},
+  };
+}
+
+std::vector<MixConfig> StandardMixes() {
+  return {ReadOnlyMix(), MixedMix(), WriteHeavyMix()};
+}
+
+WorkloadReport RunTpcwMix(const DriverConfig& driver,
+                          const tpcw::ScaleConfig& scale, const MixConfig& mix,
+                          const StatementExecFn& exec) {
+  return RunClosedLoop(
+      driver, [&](int thread_id, uint64_t seed) -> SessionOp {
+        // All thread-local state lives in shared_ptrs captured by the op
+        // closure; the factory runs on the worker thread itself.
+        auto params = std::make_shared<tpcw::ParamProvider>(scale, seed);
+        params->PartitionFreshIds(thread_id, driver.threads);
+        // Decorrelate the mix RNG from the parameter RNG (same base seed
+        // would replay the same stream).
+        auto rng = std::make_shared<Rng>(seed * 0x9E3779B97F4A7C15ULL + 1);
+        return [&exec, &mix, thread_id, params,
+                rng](size_t) -> StatusOr<double> {
+          const bool is_read =
+              mix.writes.empty() ||
+              (!mix.reads.empty() &&
+               rng->UniformReal(0.0, 1.0) < mix.read_fraction);
+          const std::vector<std::string>& pool =
+              is_read ? mix.reads : mix.writes;
+          const std::string& stmt_id = pool[static_cast<size_t>(
+              rng->Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+          SYNERGY_ASSIGN_OR_RETURN(p, params->ParamsFor(stmt_id));
+          return exec(thread_id, stmt_id, p);
+        };
+      });
+}
+
+}  // namespace synergy::concurrent

@@ -1,0 +1,53 @@
+// Closed-loop TPC-W mix driver: N concurrent clients drawing reads/writes
+// from the workload's statement pool.
+//
+// Each worker thread owns a deterministically seeded ParamProvider
+// (seed = base_seed ^ thread_id, fresh-id stream partitioned by thread) and
+// an independent mix RNG, so a run at any thread count is replayable and
+// concurrent inserts never collide on generated keys. The system under test
+// is abstracted behind StatementExecFn; systems/harness.cc adapts
+// EvaluatedSystem so every system (Synergy, Baseline, MVCC-*) can be driven
+// without this module depending on them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "concurrent/session_driver.h"
+#include "tpcw/generator.h"
+
+namespace synergy::concurrent {
+
+/// A read/write statement mix: an op is a read with probability
+/// `read_fraction`, and the statement is drawn uniformly from the
+/// corresponding pool.
+struct MixConfig {
+  std::string name;
+  double read_fraction = 1.0;
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+};
+
+/// The three standard mixes of the concurrent bench. Reads span cheap
+/// single-table lookups and the order-display / cart joins; writes center
+/// on the ordering path (Orders/Order_line/Shopping_cart inserts, Customer
+/// and cart updates) so concurrent clients contend on root locks.
+MixConfig ReadOnlyMix();
+MixConfig MixedMix(double read_fraction = 0.8);
+MixConfig WriteHeavyMix();
+std::vector<MixConfig> StandardMixes();
+
+/// Executes one bound statement for a client thread; returns virtual µs.
+using StatementExecFn = std::function<StatusOr<double>(
+    int thread_id, const std::string& stmt_id,
+    const std::vector<Value>& params)>;
+
+/// Runs the closed-loop mix with `driver.threads` concurrent clients.
+WorkloadReport RunTpcwMix(const DriverConfig& driver,
+                          const tpcw::ScaleConfig& scale,
+                          const MixConfig& mix, const StatementExecFn& exec);
+
+}  // namespace synergy::concurrent

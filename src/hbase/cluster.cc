@@ -8,7 +8,7 @@ namespace synergy::hbase {
 
 Status Cluster::CreateTable(const TableDescriptor& desc,
                             const std::vector<std::string>& split_keys) {
-  std::lock_guard lock(tables_mutex_);
+  std::unique_lock lock(tables_mutex_);
   if (tables_.contains(desc.name)) {
     return Status::AlreadyExists("table " + desc.name);
   }
@@ -39,18 +39,18 @@ Status Cluster::InjectAckFault(const std::string& table,
 }
 
 Status Cluster::DropTable(const std::string& name) {
-  std::lock_guard lock(tables_mutex_);
+  std::unique_lock lock(tables_mutex_);
   if (tables_.erase(name) == 0) return Status::NotFound("table " + name);
   return Status::Ok();
 }
 
 bool Cluster::HasTable(const std::string& name) const {
-  std::lock_guard lock(tables_mutex_);
+  std::shared_lock lock(tables_mutex_);
   return tables_.contains(name);
 }
 
 std::vector<std::string> Cluster::TableNames() const {
-  std::lock_guard lock(tables_mutex_);
+  std::shared_lock lock(tables_mutex_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -58,7 +58,7 @@ std::vector<std::string> Cluster::TableNames() const {
 }
 
 StatusOr<Table*> Cluster::FindTable(const std::string& name) const {
-  std::lock_guard lock(tables_mutex_);
+  std::shared_lock lock(tables_mutex_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table " + name);
   return it->second.get();
@@ -208,17 +208,17 @@ bool Scanner::Next(RowResult* out) {
 }
 
 void Cluster::MajorCompactAll() {
-  std::lock_guard lock(tables_mutex_);
+  std::shared_lock lock(tables_mutex_);
   for (auto& [name, table] : tables_) table->MajorCompact();
 }
 
 void Cluster::MaybeSplitAll() {
-  std::lock_guard lock(tables_mutex_);
+  std::shared_lock lock(tables_mutex_);
   for (auto& [name, table] : tables_) table->MaybeSplit();
 }
 
 std::vector<TableSizeInfo> Cluster::SizeReport() const {
-  std::lock_guard lock(tables_mutex_);
+  std::shared_lock lock(tables_mutex_);
   std::vector<TableSizeInfo> out;
   out.reserve(tables_.size());
   for (const auto& [name, table] : tables_) {

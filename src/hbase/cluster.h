@@ -10,8 +10,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -176,7 +176,9 @@ class Cluster {
   int num_region_servers_;
   fault::FaultInjector* faults_ = nullptr;
   std::atomic<int64_t> clock_{0};
-  mutable std::mutex tables_mutex_;
+  // Reader-writer latch on the table catalog: every DML op resolves its
+  // table here, so concurrent sessions take it shared; only DDL is exclusive.
+  mutable std::shared_mutex tables_mutex_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
 };
 

@@ -17,6 +17,7 @@
 //   - VoltDB-like in-memory execution ~10x faster than HBase-backed scans.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -76,21 +77,28 @@ struct CostModel {
   static CostModel Ec2Like() { return CostModel{}; }
 };
 
-/// Per-session accumulator of virtual time. Not thread-safe: each logical
-/// client session owns one meter.
+/// Per-session accumulator of virtual time. Each logical client session owns
+/// one meter, but charges may arrive from another OS thread (a txn-layer
+/// slave worker executes the write body against the client's session), so
+/// accumulation is a relaxed atomic add — charges commute and the client
+/// only reads the total after the submit future resolves.
 class CostMeter {
  public:
-  void Charge(double micros) { virtual_us_ += micros; }
-  void Reset() { virtual_us_ = 0.0; }
+  void Charge(double micros) {
+    virtual_us_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void Reset() { virtual_us_.store(0.0, std::memory_order_relaxed); }
 
-  double micros() const { return virtual_us_; }
-  double millis() const { return virtual_us_ / 1000.0; }
+  double micros() const {
+    return virtual_us_.load(std::memory_order_relaxed);
+  }
+  double millis() const { return micros() / 1000.0; }
 
   /// Scoped measurement helper: returns elapsed virtual µs since `mark`.
-  double Since(double mark) const { return virtual_us_ - mark; }
+  double Since(double mark) const { return micros() - mark; }
 
  private:
-  double virtual_us_ = 0.0;
+  std::atomic<double> virtual_us_{0.0};
 };
 
 /// Payload-size based RPC cost: base latency + transfer time.

@@ -31,6 +31,29 @@ Measurement MeasureStatement(EvaluatedSystem& system,
   return m;
 }
 
+concurrent::WorkloadReport MeasureConcurrent(EvaluatedSystem& system,
+                                             const tpcw::ScaleConfig& scale,
+                                             const concurrent::MixConfig& mix,
+                                             int threads,
+                                             size_t ops_per_thread,
+                                             uint64_t base_seed) {
+  concurrent::DriverConfig driver;
+  driver.threads = threads;
+  driver.ops_per_thread = ops_per_thread;
+  driver.base_seed = base_seed;
+  return concurrent::RunTpcwMix(
+      driver, scale, mix,
+      [&system](int, const std::string& stmt_id,
+                const std::vector<Value>& params) -> StatusOr<double> {
+        SYNERGY_ASSIGN_OR_RETURN(r, system.Execute(stmt_id, params));
+        if (!r.supported) {
+          return Status::Unimplemented("statement " + stmt_id +
+                                       " unsupported by " + system.name());
+        }
+        return r.virtual_ms * 1000.0;  // report in virtual µs
+      });
+}
+
 std::string FormatMs(double ms) {
   char buf[32];
   if (ms >= 100000.0) {
@@ -74,6 +97,13 @@ int64_t EnvCustomers(int64_t default_value) {
 
 int EnvReps(int default_value) {
   const char* env = std::getenv("SYNERGY_BENCH_REPS");
+  if (env == nullptr) return default_value;
+  const int v = std::atoi(env);
+  return v > 0 ? v : default_value;
+}
+
+int EnvThreads(int default_value) {
+  const char* env = std::getenv("SYNERGY_BENCH_THREADS");
   if (env == nullptr) return default_value;
   const int v = std::atoi(env);
   return v > 0 ? v : default_value;

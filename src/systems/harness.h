@@ -2,10 +2,13 @@
 // over N runs, as the paper reports) and fixed-width table printing.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "concurrent/tpcw_mix.h"
 #include "systems/evaluated_system.h"
 #include "tpcw/generator.h"
 
@@ -23,6 +26,17 @@ struct Measurement {
 Measurement MeasureStatement(EvaluatedSystem& system,
                              tpcw::ParamProvider& params,
                              const std::string& stmt_id, int reps);
+
+/// Runs `mix` with `threads` concurrent closed-loop clients against the
+/// system (each thread gets its own deterministically seeded ParamProvider
+/// and a fresh Session per statement). Statements a system cannot execute
+/// surface as per-op errors in the report rather than aborting the run.
+concurrent::WorkloadReport MeasureConcurrent(EvaluatedSystem& system,
+                                             const tpcw::ScaleConfig& scale,
+                                             const concurrent::MixConfig& mix,
+                                             int threads,
+                                             size_t ops_per_thread,
+                                             uint64_t base_seed = 7);
 
 /// "123.4" / "1.2e+04"-style compact ms formatting for table cells.
 std::string FormatMs(double ms);
@@ -43,5 +57,6 @@ class TablePrinter {
 /// Environment knobs shared by every bench binary.
 int64_t EnvCustomers(int64_t default_value);   // SYNERGY_TPCW_CUSTOMERS
 int EnvReps(int default_value);                // SYNERGY_BENCH_REPS
+int EnvThreads(int default_value);             // SYNERGY_BENCH_THREADS
 
 }  // namespace synergy::systems

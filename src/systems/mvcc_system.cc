@@ -102,12 +102,26 @@ Status MvccSystem::Setup(const tpcw::ScaleConfig& scale) {
   for (const sql::RelationDef* rel : catalog_.Relations()) {
     SYNERGY_RETURN_IF_ERROR(adapter_->CreateStorage(rel->name));
   }
-  hbase::Session load(cluster_.get());
-  SYNERGY_RETURN_IF_ERROR(tpcw::GenerateDatabase(
-      scale, [&](const std::string& relation, const exec::Tuple& tuple) {
-        SYNERGY_RETURN_IF_ERROR(adapter_->Insert(load, relation, tuple));
-        return maintainer_->ApplyInsert(load, relation, tuple);
-      }));
+  if (scale.load_threads > 1) {
+    std::vector<std::unique_ptr<hbase::Session>> sessions;
+    for (int i = 0; i < scale.load_threads; ++i) {
+      sessions.push_back(std::make_unique<hbase::Session>(cluster_.get()));
+    }
+    SYNERGY_RETURN_IF_ERROR(tpcw::GenerateDatabaseParallel(
+        scale, [&](int tid, const std::string& relation,
+                   const exec::Tuple& tuple) {
+          hbase::Session& s = *sessions[static_cast<size_t>(tid)];
+          SYNERGY_RETURN_IF_ERROR(adapter_->Insert(s, relation, tuple));
+          return maintainer_->ApplyInsert(s, relation, tuple);
+        }));
+  } else {
+    hbase::Session load(cluster_.get());
+    SYNERGY_RETURN_IF_ERROR(tpcw::GenerateDatabase(
+        scale, [&](const std::string& relation, const exec::Tuple& tuple) {
+          SYNERGY_RETURN_IF_ERROR(adapter_->Insert(load, relation, tuple));
+          return maintainer_->ApplyInsert(load, relation, tuple);
+        }));
+  }
   cluster_->MajorCompactAll();
   return Status::Ok();
 }

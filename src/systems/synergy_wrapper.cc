@@ -5,15 +5,29 @@ namespace synergy::systems {
 Status SynergyWrapper::Setup(const tpcw::ScaleConfig& scale) {
   cluster_ = std::make_unique<hbase::Cluster>();
   system_ = std::make_unique<core::SynergySystem>(
-      cluster_.get(), core::SynergyConfig{.roots = roots_});
+      cluster_.get(),
+      core::SynergyConfig{.roots = roots_, .txn_slaves = txn_slaves_});
   SYNERGY_RETURN_IF_ERROR(
       system_->Build(tpcw::BuildCatalog(), tpcw::BuildWorkload()));
   SYNERGY_RETURN_IF_ERROR(system_->CreateStorage());
-  hbase::Session load(cluster_.get());
-  SYNERGY_RETURN_IF_ERROR(tpcw::GenerateDatabase(
-      scale, [&](const std::string& relation, const exec::Tuple& tuple) {
-        return system_->Load(load, relation, tuple);
-      }));
+  if (scale.load_threads > 1) {
+    std::vector<std::unique_ptr<hbase::Session>> sessions;
+    for (int i = 0; i < scale.load_threads; ++i) {
+      sessions.push_back(std::make_unique<hbase::Session>(cluster_.get()));
+    }
+    SYNERGY_RETURN_IF_ERROR(tpcw::GenerateDatabaseParallel(
+        scale, [&](int tid, const std::string& relation,
+                   const exec::Tuple& tuple) {
+          return system_->Load(*sessions[static_cast<size_t>(tid)], relation,
+                               tuple);
+        }));
+  } else {
+    hbase::Session load(cluster_.get());
+    SYNERGY_RETURN_IF_ERROR(tpcw::GenerateDatabase(
+        scale, [&](const std::string& relation, const exec::Tuple& tuple) {
+          return system_->Load(load, relation, tuple);
+        }));
+  }
   cluster_->MajorCompactAll();
   return Status::Ok();
 }

@@ -14,9 +14,12 @@ class SynergyWrapper : public EvaluatedSystem {
  public:
   /// `roots` defaults to the paper's Q_TPC-W; ablation benches pass
   /// alternative root sets to probe the sensitivity of root selection.
+  /// `txn_slaves` sizes the transaction layer's worker pool (the concurrent
+  /// bench raises it so writes from different clients overlap).
   explicit SynergyWrapper(std::vector<std::string> roots = tpcw::Roots(),
-                          std::string name = "Synergy")
-      : name_(std::move(name)), roots_(std::move(roots)) {}
+                          std::string name = "Synergy", int txn_slaves = 1)
+      : name_(std::move(name)), roots_(std::move(roots)),
+        txn_slaves_(txn_slaves) {}
 
   const std::string& name() const override { return name_; }
   Status Setup(const tpcw::ScaleConfig& scale) override;
@@ -33,6 +36,7 @@ class SynergyWrapper : public EvaluatedSystem {
  private:
   std::string name_;
   std::vector<std::string> roots_;
+  int txn_slaves_ = 1;
   std::unique_ptr<hbase::Cluster> cluster_;
   std::unique_ptr<core::SynergySystem> system_;
 };

@@ -1,9 +1,63 @@
 #include "tpcw/generator.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace synergy::tpcw {
 namespace {
 
 std::string Uname(int64_t c_id) { return "USER" + std::to_string(c_id); }
+
+// ---- parallel loader ----
+
+// Ids per block: one RNG seed per block makes the generated data a pure
+// function of (seed, block size), independent of how many threads consume
+// the blocks.
+constexpr int64_t kLoadBlock = 1024;
+
+uint64_t BlockSeed(uint64_t seed, uint64_t phase, int64_t block) {
+  // splitmix64's output mixing decorrelates nearby seeds, so a cheap
+  // combination is enough.
+  return seed ^ (phase << 40) ^ static_cast<uint64_t>(block);
+}
+
+/// Emits one id of a phase using that block's RNG.
+using EmitFn = std::function<Status(Rng& rng, int thread_id, int64_t id)>;
+
+/// Runs one FK-topological phase: ids 1..count split into kLoadBlock-sized
+/// blocks, block b handled by thread b % threads. Joins all workers before
+/// returning (the inter-phase barrier).
+Status ParallelPhase(int threads, uint64_t seed, uint64_t phase, int64_t count,
+                     const EmitFn& emit) {
+  if (count <= 0) return Status::Ok();
+  const int64_t num_blocks = (count + kLoadBlock - 1) / kLoadBlock;
+  const int n = static_cast<int>(
+      std::max<int64_t>(1, std::min<int64_t>(threads, num_blocks)));
+  std::vector<Status> results(static_cast<size_t>(n), Status::Ok());
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(n));
+  for (int tid = 0; tid < n; ++tid) {
+    workers.emplace_back([&, tid] {
+      for (int64_t b = tid; b < num_blocks; b += n) {
+        Rng rng(BlockSeed(seed, phase, b));
+        const int64_t lo = b * kLoadBlock + 1;
+        const int64_t hi = std::min(count, (b + 1) * kLoadBlock);
+        for (int64_t id = lo; id <= hi; ++id) {
+          Status s = emit(rng, tid, id);
+          if (!s.ok()) {
+            results[static_cast<size_t>(tid)] = std::move(s);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (Status& s : results) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -161,6 +215,168 @@ Status GenerateDatabase(const ScaleConfig& cfg, const TupleSink& sink) {
         sink("Orders_tmp", {{"ot_o_id", Value(cfg.num_orders() - k)}}));
   }
   return Status::Ok();
+}
+
+Status GenerateDatabaseParallel(const ScaleConfig& cfg,
+                                const ParallelTupleSink& sink) {
+  const int threads = std::max(1, cfg.load_threads);
+  const auto& subjects = Subjects();
+
+  // Phase tags feed BlockSeed, so each relation gets its own seed stream.
+  enum : uint64_t {
+    kCountry = 1, kAddress, kAuthor, kCustomer, kItem, kOrders, kCarts, kTmp
+  };
+
+  SYNERGY_RETURN_IF_ERROR(ParallelPhase(
+      threads, cfg.seed, kCountry, cfg.num_countries(),
+      [&](Rng& rng, int tid, int64_t id) {
+        return sink(tid, "Country",
+                    {{"co_id", Value(id)},
+                     {"co_name", Value("COUNTRY" + std::to_string(id))},
+                     {"co_exchange", Value(rng.UniformReal(0.1, 10.0))},
+                     {"co_currency", Value(rng.AlphaString(3))}});
+      }));
+  SYNERGY_RETURN_IF_ERROR(ParallelPhase(
+      threads, cfg.seed, kAddress, cfg.num_addresses(),
+      [&](Rng& rng, int tid, int64_t id) {
+        return sink(tid, "Address",
+                    {{"addr_id", Value(id)},
+                     {"addr_street1", Value(rng.AlphaString(16))},
+                     {"addr_street2", Value(rng.AlphaString(16))},
+                     {"addr_city", Value(rng.AlphaString(10))},
+                     {"addr_state", Value(rng.AlphaString(2))},
+                     {"addr_zip", Value(rng.AlphaString(5))},
+                     {"addr_co_id", Value(rng.Uniform(1, cfg.num_countries()))}});
+      }));
+  SYNERGY_RETURN_IF_ERROR(ParallelPhase(
+      threads, cfg.seed, kAuthor, cfg.num_authors(),
+      [&](Rng& rng, int tid, int64_t id) {
+        return sink(tid, "Author",
+                    {{"a_id", Value(id)},
+                     {"a_fname", Value(rng.AlphaString(8))},
+                     {"a_lname", Value(rng.AlphaString(10))},
+                     {"a_mname", Value(rng.AlphaString(1))},
+                     {"a_dob", Value(rng.Uniform(1900, 1999))},
+                     {"a_bio", Value(rng.AlphaString(60))}});
+      }));
+  SYNERGY_RETURN_IF_ERROR(ParallelPhase(
+      threads, cfg.seed, kCustomer, cfg.num_customers,
+      [&](Rng& rng, int tid, int64_t id) {
+        return sink(tid, "Customer",
+                    {{"c_id", Value(id)},
+                     {"c_uname", Value(Uname(id))},
+                     {"c_passwd", Value(rng.AlphaString(8))},
+                     {"c_fname", Value(rng.AlphaString(8))},
+                     {"c_lname", Value(rng.AlphaString(10))},
+                     {"c_addr_id", Value(rng.Uniform(1, cfg.num_addresses()))},
+                     {"c_phone", Value(rng.AlphaString(10))},
+                     {"c_email", Value(rng.AlphaString(12))},
+                     {"c_since", Value(rng.Uniform(20000101, 20170101))},
+                     {"c_last_login", Value(rng.Uniform(20170101, 20170930))},
+                     {"c_login", Value(rng.Uniform(0, 1000000))},
+                     {"c_expiration", Value(rng.Uniform(20180101, 20200101))},
+                     {"c_discount", Value(rng.UniformReal(0.0, 0.5))},
+                     {"c_balance", Value(rng.UniformReal(-100.0, 100.0))},
+                     {"c_ytd_pmt", Value(rng.UniformReal(0.0, 10000.0))},
+                     {"c_birthdate", Value(rng.Uniform(19200101, 19991231))},
+                     {"c_data", Value(rng.AlphaString(80))}});
+      }));
+  SYNERGY_RETURN_IF_ERROR(ParallelPhase(
+      threads, cfg.seed, kItem, cfg.num_items(),
+      [&](Rng& rng, int tid, int64_t id) {
+        auto related = [&] { return Value(rng.Uniform(1, cfg.num_items())); };
+        return sink(
+            tid, "Item",
+            {{"i_id", Value(id)},
+             {"i_title", Value("TITLE" + std::to_string(rng.Next() % 100000))},
+             {"i_a_id", Value(rng.Uniform(1, cfg.num_authors()))},
+             {"i_pub_date", Value(rng.Uniform(19500101, 20170101))},
+             {"i_publisher", Value(rng.AlphaString(14))},
+             {"i_subject",
+              Value(subjects[static_cast<size_t>(rng.Next() %
+                                                 subjects.size())])},
+             {"i_desc", Value(rng.AlphaString(100))},
+             {"i_related1", related()},
+             {"i_related2", related()},
+             {"i_related3", related()},
+             {"i_related4", related()},
+             {"i_related5", related()},
+             {"i_thumbnail", Value(rng.AlphaString(20))},
+             {"i_image", Value(rng.AlphaString(20))},
+             {"i_srp", Value(rng.UniformReal(1.0, 300.0))},
+             {"i_cost", Value(rng.UniformReal(1.0, 300.0))},
+             {"i_avail", Value(rng.Uniform(20170101, 20171231))},
+             {"i_stock", Value(rng.Uniform(10, 30))},
+             {"i_isbn", Value(rng.AlphaString(13))},
+             {"i_page", Value(rng.Uniform(20, 9999))},
+             {"i_backing", Value(rng.AlphaString(5))},
+             {"i_dimensions", Value(rng.AlphaString(12))}});
+      }));
+  // Orders carry their lines and credit-card row; ol_id is derived from
+  // (o_id, line) so no cross-thread counter is needed.
+  SYNERGY_RETURN_IF_ERROR(ParallelPhase(
+      threads, cfg.seed, kOrders, cfg.num_orders(),
+      [&](Rng& rng, int tid, int64_t o_id) {
+        const int64_t c_id = (o_id - 1) % cfg.num_customers + 1;
+        SYNERGY_RETURN_IF_ERROR(sink(
+            tid, "Orders",
+            {{"o_id", Value(o_id)},
+             {"o_c_id", Value(c_id)},
+             {"o_date", Value(rng.Uniform(20150101, 20170930))},
+             {"o_sub_total", Value(rng.UniformReal(10.0, 1000.0))},
+             {"o_tax", Value(rng.UniformReal(0.0, 80.0))},
+             {"o_total", Value(rng.UniformReal(10.0, 1100.0))},
+             {"o_ship_type", Value(rng.AlphaString(6))},
+             {"o_ship_date", Value(rng.Uniform(20150101, 20171001))},
+             {"o_bill_addr_id", Value(rng.Uniform(1, cfg.num_addresses()))},
+             {"o_ship_addr_id", Value(rng.Uniform(1, cfg.num_addresses()))},
+             {"o_status", Value(rng.AlphaString(8))}}));
+        const int64_t lines = rng.Uniform(1, 5);
+        for (int64_t l = 0; l < lines; ++l) {
+          SYNERGY_RETURN_IF_ERROR(sink(
+              tid, "Order_line",
+              {{"ol_id", Value((o_id - 1) * 5 + l + 1)},
+               {"ol_o_id", Value(o_id)},
+               {"ol_i_id", Value(rng.Uniform(1, cfg.num_items()))},
+               {"ol_qty", Value(rng.Uniform(1, 10))},
+               {"ol_discount", Value(rng.UniformReal(0.0, 0.3))},
+               {"ol_comments", Value(rng.AlphaString(20))}}));
+        }
+        return sink(
+            tid, "CC_Xacts",
+            {{"cx_o_id", Value(o_id)},
+             {"cx_type", Value(rng.Next() % 2 ? "VISA" : "AMEX")},
+             {"cx_num", Value(rng.AlphaString(16))},
+             {"cx_name", Value(rng.AlphaString(14))},
+             {"cx_expiry", Value(rng.Uniform(20180101, 20220101))},
+             {"cx_auth_id", Value(rng.AlphaString(15))},
+             {"cx_xact_amt", Value(rng.UniformReal(10.0, 1100.0))},
+             {"cx_xact_date", Value(rng.Uniform(20150101, 20171001))},
+             {"cx_co_id", Value(rng.Uniform(1, cfg.num_countries()))}});
+      }));
+  SYNERGY_RETURN_IF_ERROR(ParallelPhase(
+      threads, cfg.seed, kCarts, cfg.num_carts(),
+      [&](Rng& rng, int tid, int64_t sc) {
+        SYNERGY_RETURN_IF_ERROR(
+            sink(tid, "Shopping_cart",
+                 {{"sc_id", Value(sc)},
+                  {"sc_time", Value(rng.Uniform(0, 1 << 30))}}));
+        const int64_t lines = rng.Uniform(1, 3);
+        for (int64_t l = 0; l < lines; ++l) {
+          SYNERGY_RETURN_IF_ERROR(
+              sink(tid, "Shopping_cart_line",
+                   {{"scl_sc_id", Value(sc)},
+                    {"scl_i_id", Value(rng.Uniform(1, cfg.num_items()))},
+                    {"scl_qty", Value(rng.Uniform(1, 5))}}));
+        }
+        return Status::Ok();
+      }));
+  return ParallelPhase(
+      threads, cfg.seed, kTmp, cfg.num_orders_tmp(),
+      [&](Rng&, int tid, int64_t k) {
+        return sink(tid, "Orders_tmp",
+                    {{"ot_o_id", Value(cfg.num_orders() - (k - 1))}});
+      });
 }
 
 StatusOr<std::vector<Value>> ParamProvider::ParamsFor(

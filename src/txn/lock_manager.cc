@@ -1,5 +1,7 @@
 #include "txn/lock_manager.h"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "testing/fault_injector.h"
@@ -47,10 +49,17 @@ Status LockManager::Acquire(hbase::Session& s,
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     SYNERGY_ASSIGN_OR_RETURN(won, TryAcquire(s, root_relation, root_key));
     if (won) return Status::Ok();
-    // Virtual backoff before the next CheckAndPut; yield so the real owner
-    // thread can make progress in concurrent tests.
+    // Virtual backoff before the next CheckAndPut; the charge is what makes
+    // contention visible in reported latencies.
     s.meter().Charge(cluster_->cost_model().lock_rpc_us);
-    std::this_thread::yield();
+    // Real backoff so the owner thread actually gets the CPU: spin-yield for
+    // the first few attempts, then exponential sleep capped at 64us.
+    if (attempt < 4) {
+      std::this_thread::yield();
+    } else {
+      const int shift = std::min(attempt - 4, 6);
+      std::this_thread::sleep_for(std::chrono::microseconds(1 << shift));
+    }
   }
   return Status::Aborted("lock acquisition timed out on " + root_relation);
 }

@@ -53,8 +53,9 @@ class LockManager {
                             const std::string& root_relation,
                             const std::string& root_key);
 
-  /// Acquires with bounded retries (virtual backoff per retry; yields the
-  /// OS thread so concurrent owners can progress).
+  /// Acquires with bounded retries. Each retry charges a virtual lock RPC
+  /// (contention shows up in reported latency) and backs off the OS thread
+  /// (yield, then capped exponential sleep) so concurrent owners progress.
   Status Acquire(hbase::Session& s, const std::string& root_relation,
                  const std::string& root_key, int max_attempts = 1000);
 

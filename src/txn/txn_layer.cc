@@ -4,9 +4,65 @@
 
 namespace synergy::txn {
 
+SlaveNode::SlaveNode(hbase::Cluster* cluster, LockManager* locks, int id)
+    : cluster_(cluster), locks_(locks), id_(id),
+      wal_(std::make_shared<Wal>(&cluster->cost_model())) {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+SlaveNode::~SlaveNode() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Every enqueued task has a client blocked on its future, so the queue is
+  // necessarily empty by the time the last client reference drops; fail any
+  // stragglers defensively anyway.
+  for (WriteTask& task : queue_) {
+    task.done.set_value(Status::Unavailable("slave shut down"));
+  }
+}
+
 void SlaveNode::SetFaultInjector(fault::FaultInjector* faults) {
   faults_ = faults;
   wal_->SetFaultInjector(faults);
+}
+
+void SlaveNode::WorkerLoop() {
+  for (;;) {
+    WriteTask task;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with no work left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_not_full_.notify_one();
+    task.done.set_value(
+        ExecuteWrite(*task.session, *task.payload, *task.lock, *task.body));
+  }
+}
+
+StatusOr<int64_t> SlaveNode::ProcessWrite(hbase::Session& s,
+                                          const std::string& payload,
+                                          const std::optional<LockSpec>& lock,
+                                          const WriteBody& body) {
+  std::future<StatusOr<int64_t>> done;
+  {
+    std::unique_lock qlock(queue_mutex_);
+    queue_not_full_.wait(
+        qlock, [this] { return stopping_ || queue_.size() < kQueueCapacity; });
+    if (stopping_) return Status::Unavailable("slave shut down");
+    WriteTask task{&s, &payload, &lock, &body, {}};
+    done = task.done.get_future();
+    queue_.push_back(std::move(task));
+  }
+  queue_not_empty_.notify_one();
+  return done.get();
 }
 
 Status SlaveNode::Crash(const std::string& reason) {
@@ -19,7 +75,7 @@ bool SlaveNode::Fire(fault::FaultPoint point) {
   return faults_ != nullptr && faults_->ShouldFire(point);
 }
 
-StatusOr<int64_t> SlaveNode::ProcessWrite(hbase::Session& s,
+StatusOr<int64_t> SlaveNode::ExecuteWrite(hbase::Session& s,
                                           const std::string& payload,
                                           const std::optional<LockSpec>& lock,
                                           const WriteBody& body) {
@@ -86,6 +142,7 @@ TxnLayer::TxnLayer(hbase::Cluster* cluster, LockManager* locks, int num_slaves)
 }
 
 void TxnLayer::SetFaultInjector(fault::FaultInjector* faults) {
+  std::shared_lock lock(slaves_mutex_);
   faults_ = faults;
   for (auto& slave : slaves_) slave->SetFaultInjector(faults);
 }
@@ -94,6 +151,9 @@ StatusOr<int64_t> TxnLayer::SubmitWrite(hbase::Session& s,
                                         const std::string& payload,
                                         const std::optional<LockSpec>& lock,
                                         const WriteBody& body) {
+  // Shared lock held across the write: DetectAndRecover cannot destroy the
+  // slave out from under us.
+  std::shared_lock pool_lock(slaves_mutex_);
   for (size_t attempt = 0; attempt < slaves_.size(); ++attempt) {
     SlaveNode* slave =
         slaves_[next_slave_.fetch_add(1) % slaves_.size()].get();
@@ -104,6 +164,7 @@ StatusOr<int64_t> TxnLayer::SubmitWrite(hbase::Session& s,
 }
 
 Status TxnLayer::DetectAndRecover(hbase::Session& s, const ReplayFn& replay) {
+  std::unique_lock pool_lock(slaves_mutex_);
   for (auto& slave : slaves_) {
     if (!slave->failed()) continue;
     // Start a replacement slave and replay the failed slave's uncommitted

@@ -23,10 +23,16 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -48,28 +54,52 @@ using WriteBody = std::function<Status(hbase::Session&)>;
 /// Rebuilds and executes the body for a WAL payload during replay.
 using ReplayFn = std::function<Status(hbase::Session&, const std::string&)>;
 
+/// A slave node runs its own worker thread: clients enqueue write tasks into
+/// a bounded queue and block on a future, so writes routed to different
+/// slaves overlap while each slave still executes its own WAL order
+/// serially. Single-client behaviour is unchanged (the client waits for its
+/// future before issuing the next statement).
 class SlaveNode {
  public:
-  SlaveNode(hbase::Cluster* cluster, LockManager* locks, int id)
-      : cluster_(cluster), locks_(locks), id_(id),
-        wal_(std::make_shared<Wal>(&cluster->cost_model())) {}
+  SlaveNode(hbase::Cluster* cluster, LockManager* locks, int id);
+  ~SlaveNode();
 
   int id() const { return id_; }
   bool failed() const { return failed_.load(); }
   std::shared_ptr<Wal> wal() const { return wal_; }
 
   /// Installs (or clears) the fault injector consulted at the slave's
-  /// crash points and by its WAL.
+  /// crash points and by its WAL. Must not race in-flight writes (install
+  /// before submitting work, as the harness and tests do).
   void SetFaultInjector(fault::FaultInjector* faults);
 
+  /// Enqueues the write for the worker thread and blocks until it commits
+  /// or fails. The caller's stack (payload/lock/body) stays valid for the
+  /// duration, so the task only carries pointers.
   StatusOr<int64_t> ProcessWrite(hbase::Session& s, const std::string& payload,
                                  const std::optional<LockSpec>& lock,
                                  const WriteBody& body);
 
  private:
+  struct WriteTask {
+    hbase::Session* session;
+    const std::string* payload;
+    const std::optional<LockSpec>* lock;
+    const WriteBody* body;
+    std::promise<StatusOr<int64_t>> done;
+  };
+
+  /// Runs on the worker thread: WAL append, lock acquire, body, release.
+  StatusOr<int64_t> ExecuteWrite(hbase::Session& s, const std::string& payload,
+                                 const std::optional<LockSpec>& lock,
+                                 const WriteBody& body);
+  void WorkerLoop();
+
   /// Marks the slave dead and returns the Unavailable status the client sees.
   Status Crash(const std::string& reason);
   bool Fire(fault::FaultPoint point);
+
+  static constexpr size_t kQueueCapacity = 8;
 
   hbase::Cluster* cluster_;
   LockManager* locks_;
@@ -77,6 +107,13 @@ class SlaveNode {
   std::shared_ptr<Wal> wal_;
   fault::FaultInjector* faults_ = nullptr;
   std::atomic<bool> failed_{false};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<WriteTask> queue_;
+  bool stopping_ = false;
+  std::thread worker_;
 };
 
 /// Master: owns the slave pool, routes writes, performs failover.
@@ -95,8 +132,14 @@ class TxnLayer {
                                 const std::optional<LockSpec>& lock,
                                 const WriteBody& body);
 
-  SlaveNode* slave(int i) { return slaves_[static_cast<size_t>(i)].get(); }
-  int num_slaves() const { return static_cast<int>(slaves_.size()); }
+  SlaveNode* slave(int i) {
+    std::shared_lock lock(slaves_mutex_);
+    return slaves_[static_cast<size_t>(i)].get();
+  }
+  int num_slaves() const {
+    std::shared_lock lock(slaves_mutex_);
+    return static_cast<int>(slaves_.size());
+  }
 
   /// Master failure detection + recovery: replaces failed slaves with fresh
   /// ones that replay the uncommitted WAL suffix via `replay` (which must be
@@ -108,6 +151,11 @@ class TxnLayer {
   hbase::Cluster* cluster_;
   LockManager* locks_;
   fault::FaultInjector* faults_ = nullptr;
+  // Guards the pool: SubmitWrite routes under a shared lock (held across the
+  // write so a slave is never destroyed under an in-flight client);
+  // DetectAndRecover swaps failed slaves under an exclusive lock, i.e. after
+  // all in-flight writes drained.
+  mutable std::shared_mutex slaves_mutex_;
   std::vector<std::unique_ptr<SlaveNode>> slaves_;
   std::atomic<size_t> next_slave_{0};
   int next_slave_id_ = 0;

@@ -11,6 +11,8 @@
 
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "company_fixture.h"
@@ -125,9 +127,80 @@ class ChaosScenarioTest : public ::testing::Test {
   }
 
   Status Write(const std::string& sql, std::vector<Value> params) {
-    stmts_.push_back(sql::MustParse(sql));
     hbase::Session s(&cluster_);
-    return system_->ExecuteWrite(s, stmts_.back(), params).status();
+    return WriteOn(s, sql, std::move(params));
+  }
+
+  /// Thread-safe write: parses into a stack-local statement and executes on
+  /// the caller's session, so concurrent clients share no test state.
+  Status WriteOn(hbase::Session& session, const std::string& sql,
+                 std::vector<Value> params) {
+    const sql::Statement stmt = sql::MustParse(sql);
+    return system_->ExecuteWrite(session, stmt, params).status();
+  }
+
+  /// Multi-client storm: `clients` worker threads hammer the same hot
+  /// Works_On / Employee rows (and thus race for the same root locks) while
+  /// the armed faults fire. Each client gets its own session and its own
+  /// RNG stream (seed_ ^ client), so the per-client workload replays from
+  /// the scenario seed even though the interleaving varies; the assertions
+  /// below are interleaving-independent invariants. gtest assertions are
+  /// not thread-safe off the main thread, so workers collect intolerable
+  /// statuses and the main thread reports them after the join.
+  void ConcurrentStorm(int clients, int ops_per_client) {
+    std::vector<std::vector<Status>> intolerable(clients);
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([this, c, ops_per_client, &intolerable] {
+        Rng rng(seed_ ^ static_cast<uint64_t>(c + 1));
+        hbase::Session session(&cluster_);
+        for (int op = 0; op < ops_per_client; ++op) {
+          const int eid = static_cast<int>(rng.Uniform(1, 4));
+          const int pno = static_cast<int>(rng.Uniform(1, 5));
+          Status status = Status::Ok();
+          switch (rng.Next() % 4) {
+            case 0:
+              status = WriteOn(session,
+                               "INSERT INTO Works_On (WO_EID, WO_PNo, Hours) "
+                               "VALUES (?, ?, ?)",
+                               {Value(eid), Value(pno),
+                                Value(static_cast<int>(rng.Uniform(1, 99)))});
+              break;
+            case 1:
+              status = WriteOn(session,
+                               "DELETE FROM Works_On WHERE WO_EID = ? AND "
+                               "WO_PNo = ?",
+                               {Value(eid), Value(pno)});
+              break;
+            case 2:
+              status = WriteOn(session,
+                               "UPDATE Works_On SET Hours = ? WHERE WO_EID = ? "
+                               "AND WO_PNo = ?",
+                               {Value(static_cast<int>(rng.Uniform(1, 99))),
+                                Value(eid), Value(pno)});
+              break;
+            case 3:
+              status = WriteOn(session,
+                               "UPDATE Employee SET EName = ? WHERE EID = ?",
+                               {Value("c" + std::to_string(c) + "_" +
+                                      std::to_string(op)),
+                                Value(eid)});
+              break;
+          }
+          if (!status.ok() && !TolerableStormError(status)) {
+            intolerable[c].push_back(status);
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (int c = 0; c < clients; ++c) {
+      for (const Status& status : intolerable[c]) {
+        ADD_FAILURE() << "client " << c << ": " << status << "\n"
+                      << ReplayHint();
+      }
+    }
   }
 
   /// Disarms all faults, runs master failover + WAL replay, then audits
@@ -183,7 +256,6 @@ class ChaosScenarioTest : public ::testing::Test {
   std::unique_ptr<SynergySystem> system_;
   std::unique_ptr<fault::FaultInjector> faults_;
   std::unique_ptr<Rng> rng_;
-  std::vector<sql::Statement> stmts_;
   uint64_t seed_ = 0;
   int rounds_ = 1;
 };
@@ -247,7 +319,60 @@ TEST_F(ChaosScenarioTest, LockTableRpcFailureStorm) {
   RunProbabilisticScenario(rule, 108);
 }
 
-// --- Scenario 9: TPC-W write storm (W1-W13 hot-row traffic) under a mix of
+// --- Scenario 9: three clients race for the same root locks while slaves
+// crash before executing the body (the lock is leaked on purpose) and after
+// the WAL append; recovery must release the orphaned locks and restore view
+// consistency no matter which client's write was in flight.
+TEST_F(ChaosScenarioTest, MultiClientSlaveCrashStorm) {
+  InstallInjector(109);
+  for (int round = 0; round < rounds_; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    for (const FaultPoint point :
+         {FaultPoint::kCrashBeforeExecute, FaultPoint::kCrashAfterWalAppend}) {
+      fault::FaultRule rule;
+      rule.point = point;
+      rule.probability = 0.04;
+      faults_->AddRule(rule);
+    }
+    ConcurrentStorm(/*clients=*/3, /*ops_per_client=*/20);
+    RecoverAndAudit();
+  }
+}
+
+// --- Scenario 10: concurrent clients under request loss — store RPCs are
+// randomly dropped while two sessions contend on the hot rows; mid-body
+// losses kill the slave under one client while the other keeps writing.
+TEST_F(ChaosScenarioTest, MultiClientRequestLostStorm) {
+  InstallInjector(110);
+  for (int round = 0; round < rounds_; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    fault::FaultRule rule;
+    rule.point = FaultPoint::kRegionRpcFailure;
+    rule.probability = 0.03;
+    faults_->AddRule(rule);
+    ConcurrentStorm(/*clients=*/2, /*ops_per_client=*/25);
+    RecoverAndAudit();
+  }
+}
+
+// --- Scenario 11: the lock-release RPC is dropped under concurrency: a
+// client finishes its body but leaves the root lock held, blocking the
+// other clients (they see tolerable lock timeouts) until recovery releases
+// the orphans.
+TEST_F(ChaosScenarioTest, MultiClientDropLockReleaseStorm) {
+  InstallInjector(111);
+  for (int round = 0; round < rounds_; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    fault::FaultRule rule;
+    rule.point = FaultPoint::kDropLockRelease;
+    rule.probability = 0.05;
+    faults_->AddRule(rule);
+    ConcurrentStorm(/*clients=*/3, /*ops_per_client=*/20);
+    RecoverAndAudit();
+  }
+}
+
+// --- Scenario 12: TPC-W write storm (W1-W13 hot-row traffic) under a mix of
 // every fault point at once, on the full paper schema with views.
 TEST(ChaosTpcwTest, MixedFaultWriteStorm) {
   systems::SynergyWrapper wrapper;

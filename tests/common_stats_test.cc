@@ -1,0 +1,87 @@
+// LatencyHistogram: percentile accuracy, merge, and edge cases.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace synergy {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleValueIsEveryPercentile) {
+  LatencyHistogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 1U);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 42.0);
+}
+
+TEST(LatencyHistogramTest, UniformRampPercentilesWithinResolution) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(static_cast<double>(i));
+  // Bucket resolution is 2^(1/32) ~ 2.2%; allow 5% slack.
+  EXPECT_NEAR(h.Percentile(50), 5000.0, 0.05 * 5000.0);
+  EXPECT_NEAR(h.Percentile(95), 9500.0, 0.05 * 9500.0);
+  EXPECT_NEAR(h.Percentile(99), 9900.0, 0.05 * 9900.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 10000.0);
+  EXPECT_NEAR(h.mean(), 5000.5, 1e-6);
+}
+
+TEST(LatencyHistogramTest, TailIsSeparatedFromBody) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Add(1.0);
+  h.Add(1000.0);  // one straggler
+  EXPECT_NEAR(h.Percentile(50), 1.0, 0.05);
+  EXPECT_NEAR(h.Percentile(99), 1.0, 0.05);
+  EXPECT_NEAR(h.Percentile(100), 1000.0, 1e-9);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedStream) {
+  LatencyHistogram a, b, combined;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.UniformReal(0.1, 500.0);
+    (i % 2 == 0 ? a : b).Add(v);
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), combined.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, OutOfRangeValuesAreClampedNotLost) {
+  LatencyHistogram h;
+  h.Add(0.0);      // below the first bucket
+  h.Add(-5.0);     // negative
+  h.Add(1e30);     // far above the last bucket
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1e30);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), -5.0);
+}
+
+TEST(RunningStatsTest, MeanAndStderrStillWork) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+}  // namespace
+}  // namespace synergy

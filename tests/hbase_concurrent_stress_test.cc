@@ -1,0 +1,190 @@
+// Concurrency stress tests for the cluster primitives: the per-region latch
+// must make Put/Get/Scan/CheckAndPut/Increment atomic under real threads.
+//
+// gtest fatal assertions are not thread-safe off the main thread, so worker
+// threads only collect Status/values; all assertions happen after join.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hbase/cluster.h"
+
+namespace synergy::hbase {
+namespace {
+
+class ConcurrentStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cluster_.CreateTable({.name = "T"}).ok());
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(ConcurrentStressTest, IncrementIsAtomicAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<Status> errors(kThreads, Status::Ok());
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Session s(&cluster_);
+      for (int i = 0; i < kPerThread; ++i) {
+        StatusOr<int64_t> v = cluster_.Increment(s, "T", "counter", "n", 1);
+        if (!v.ok()) {
+          errors[static_cast<size_t>(t)] = v.status();
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const Status& e : errors) ASSERT_TRUE(e.ok()) << e.message();
+
+  Session s(&cluster_);
+  StatusOr<int64_t> final_value = cluster_.Increment(s, "T", "counter", "n", 0);
+  ASSERT_TRUE(final_value.ok());
+  EXPECT_EQ(*final_value, kThreads * kPerThread);
+}
+
+TEST_F(ConcurrentStressTest, CheckAndPutElectsExactlyOneWinnerPerRound) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::string row = "race" + std::to_string(round);
+    {
+      Session s(&cluster_);
+      ASSERT_TRUE(cluster_.Put(s, "T", row, {{"v", "free"}}).ok());
+    }
+    std::atomic<int> winners{0};
+    std::vector<Status> errors(kThreads, Status::Ok());
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        Session s(&cluster_);
+        StatusOr<bool> won = cluster_.CheckAndPut(
+            s, "T", row, "v", std::string("free"), "t" + std::to_string(t));
+        if (!won.ok()) {
+          errors[static_cast<size_t>(t)] = won.status();
+        } else if (*won) {
+          winners.fetch_add(1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const Status& e : errors) ASSERT_TRUE(e.ok()) << e.message();
+    ASSERT_EQ(winners.load(), 1) << "round " << round;
+  }
+}
+
+TEST_F(ConcurrentStressTest, ScansNeverObserveTornRows) {
+  // A writer rewrites rows with two always-equal columns; scanners must
+  // never see a row where the columns disagree (the region latch makes the
+  // multi-column Put atomic).
+  constexpr int kRows = 20;
+  constexpr int kWriterIters = 300;
+  auto row_key = [](int r) { return "row" + std::to_string(100 + r); };
+  {
+    Session s(&cluster_);
+    for (int r = 0; r < kRows; ++r) {
+      ASSERT_TRUE(
+          cluster_.Put(s, "T", row_key(r), {{"a", "0"}, {"b", "0"}}).ok());
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  Status writer_error = Status::Ok();
+  std::thread writer([&] {
+    Session s(&cluster_);
+    for (int i = 1; i <= kWriterIters; ++i) {
+      const std::string v = std::to_string(i);
+      for (int r = 0; r < kRows; ++r) {
+        Status put = cluster_.Put(s, "T", row_key(r), {{"a", v}, {"b", v}});
+        if (!put.ok()) {
+          writer_error = put;
+          return;
+        }
+      }
+    }
+  });
+
+  constexpr int kScanners = 3;
+  std::vector<Status> scan_errors(kScanners, Status::Ok());
+  std::vector<int> torn(kScanners, 0);
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < kScanners; ++t) {
+    scanners.emplace_back([&, t] {
+      Session s(&cluster_);
+      while (!stop.load()) {
+        StatusOr<Scanner> scan = cluster_.OpenScanner(s, "T", "row", "rox");
+        if (!scan.ok()) {
+          scan_errors[static_cast<size_t>(t)] = scan.status();
+          return;
+        }
+        RowResult row;
+        while (scan->Next(&row)) {
+          const auto a = row.columns.find("a");
+          const auto b = row.columns.find("b");
+          if (a == row.columns.end() || b == row.columns.end() ||
+              a->second != b->second) {
+            ++torn[static_cast<size_t>(t)];
+          }
+        }
+        if (!scan->status().ok()) {
+          scan_errors[static_cast<size_t>(t)] = scan->status();
+          return;
+        }
+      }
+    });
+  }
+
+  writer.join();
+  stop.store(true);
+  for (auto& w : scanners) w.join();
+
+  ASSERT_TRUE(writer_error.ok()) << writer_error.message();
+  for (int t = 0; t < kScanners; ++t) {
+    ASSERT_TRUE(scan_errors[static_cast<size_t>(t)].ok())
+        << scan_errors[static_cast<size_t>(t)].message();
+    EXPECT_EQ(torn[static_cast<size_t>(t)], 0) << "scanner " << t;
+  }
+}
+
+TEST_F(ConcurrentStressTest, ConcurrentPutsToDistinctRowsAllLand) {
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 200;
+  std::vector<Status> errors(kThreads, Status::Ok());
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Session s(&cluster_);
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string key =
+            "w" + std::to_string(t) + "_" + std::to_string(i);
+        Status put = cluster_.Put(s, "T", key, {{"v", key}});
+        if (!put.ok()) {
+          errors[static_cast<size_t>(t)] = put;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const Status& e : errors) ASSERT_TRUE(e.ok()) << e.message();
+
+  Session s(&cluster_);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const std::string key = "w" + std::to_string(t) + "_" + std::to_string(i);
+      StatusOr<RowResult> row = cluster_.Get(s, "T", key);
+      ASSERT_TRUE(row.ok()) << key;
+      EXPECT_EQ(row->columns.at("v"), key);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace synergy::hbase
