@@ -25,9 +25,11 @@
 #include <vector>
 
 #include "concurrent/tpcw_mix.h"
+#include "hbase/retry_policy.h"
 #include "systems/harness.h"
 #include "systems/mvcc_system.h"
 #include "systems/synergy_wrapper.h"
+#include "testing/fault_injector.h"
 
 namespace {
 
@@ -62,17 +64,20 @@ std::string JsonRun(const std::vector<ResultRow>& rows,
       << "      \"results\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const ResultRow& r = rows[i];
-    char buf[512];
+    char buf[640];
     std::snprintf(
         buf, sizeof(buf),
         "        {\"system\": \"%s\", \"mix\": \"%s\", \"threads\": %d, "
         "\"vthroughput_ops_s\": %.1f, \"p50_ms\": %.2f, \"p95_ms\": %.2f, "
         "\"p99_ms\": %.2f, \"mean_ms\": %.2f, \"errors\": %zu, "
+        "\"retries\": %zu, \"degraded_ops\": %zu, \"deadline_errors\": %zu, "
         "\"wall_ops_s\": %.0f}%s\n",
         r.system.c_str(), r.mix.c_str(), r.threads,
         r.report.virtual_throughput(), r.report.p50_ms(), r.report.p95_ms(),
         r.report.p99_ms(), r.report.mean_ms(), r.report.total_errors,
-        r.report.wall_throughput(), i + 1 < rows.size() ? "," : "");
+        r.report.total_retries, r.report.total_degraded_ops,
+        r.report.total_deadline_errors, r.report.wall_throughput(),
+        i + 1 < rows.size() ? "," : "");
     out << buf;
   }
   out << "      ]\n    }";
@@ -174,7 +179,8 @@ int main() {
     std::printf("--- mix: %s (read fraction %.0f%%) ---\n", mix.name.c_str(),
                 mix.read_fraction * 100.0);
     systems::TablePrinter table({"system", "threads", "ops/vsec", "p50 ms",
-                                 "p95 ms", "p99 ms", "mean ms", "errors"});
+                                 "p95 ms", "p99 ms", "mean ms", "errors",
+                                 "retries", "degraded"});
     for (const auto& system : evaluated) {
       for (const int threads : sweep) {
         const concurrent::WorkloadReport report = systems::MeasureConcurrent(
@@ -195,7 +201,9 @@ int main() {
                       FormatMs(report.virtual_throughput()),
                       FormatMs(report.p50_ms()), FormatMs(report.p95_ms()),
                       FormatMs(report.p99_ms()), FormatMs(report.mean_ms()),
-                      std::to_string(report.total_errors)});
+                      std::to_string(report.total_errors),
+                      std::to_string(report.total_retries),
+                      std::to_string(report.total_degraded_ops)});
       }
     }
     table.Print();
@@ -213,6 +221,69 @@ int main() {
                    scaling);
       return 1;
     }
+  }
+
+  // --- failover: region-server crash under the write-heavy mix ----------
+  //
+  // A fresh Synergy instance takes a server crash a few heartbeat rounds
+  // into a write storm. Clients run with the default RetryPolicy, so RPCs
+  // that land on the dead server's regions back off while the lease
+  // expires, regions reassign and their WALs replay; the run must keep
+  // nonzero goodput with a degraded (but finite) p99.
+  {
+    auto failover_sys = std::make_unique<systems::SynergyWrapper>(
+        tpcw::Roots(), "Synergy", std::max(1, max_threads / 2));
+    const Status setup = failover_sys->Setup(scale);
+    if (!setup.ok()) {
+      std::fprintf(stderr, "failover setup failed: %s\n",
+                   setup.ToString().c_str());
+      return 1;
+    }
+    // Crash the server hosting Orders — the write mix's hottest insert
+    // target — so the outage is on the critical path, not a cold shard.
+    int victim = 1;
+    if (StatusOr<int> host = failover_sys->cluster()->RegionServerOf("Orders");
+        host.ok()) {
+      victim = *host;
+    }
+    std::printf("--- failover: server-%d crash (hosts Orders), %s mix, "
+                "%d threads ---\n",
+                victim, concurrent::WriteHeavyMix().name.c_str(), max_threads);
+    // Installed after load so the crash lands mid-run, not mid-population:
+    // the victim dies on its third heartbeat round under client traffic.
+    fault::FaultInjector faults(static_cast<uint64_t>(scale.seed) ^ 0xFA11);
+    faults.AddRule({.point = fault::FaultPoint::kRegionServerCrash,
+                    .probability = 1.0,
+                    .skip_hits = 2,
+                    .max_fires = 1,
+                    .table_prefix = "",
+                    .server_id = victim});
+    failover_sys->system()->SetFaultInjector(&faults);
+    failover_sys->SetRetryPolicy(hbase::RetryPolicy{});
+
+    const concurrent::WorkloadReport report = systems::MeasureConcurrent(
+        *failover_sys, scale, concurrent::WriteHeavyMix(), max_threads,
+        ops_per_thread, /*base_seed=*/scale.seed ^ 0xFA11CAFE);
+    const hbase::FailoverStats fstats =
+        failover_sys->cluster()->failover().stats();
+    std::printf(
+        "goodput %.1f ops/vsec, p99 %s ms, errors %zu (deadline %zu), "
+        "retries %zu, degraded reads %zu\n"
+        "cluster: crashes %lld, regions reassigned %lld, WAL edits replayed "
+        "%lld, writes rejected mid-reassignment %lld\n\n",
+        report.virtual_throughput(), FormatMs(report.p99_ms()).c_str(),
+        report.total_errors, report.total_deadline_errors,
+        report.total_retries, report.total_degraded_ops,
+        static_cast<long long>(fstats.crashes),
+        static_cast<long long>(fstats.regions_reassigned),
+        static_cast<long long>(fstats.edits_replayed),
+        static_cast<long long>(fstats.writes_rejected));
+    if (report.total_ops == 0) {
+      std::fprintf(stderr, "FAIL: no goodput through the server crash: %s\n",
+                   report.first_error.ToString().c_str());
+      return 1;
+    }
+    rows.push_back({"Synergy+crash", "failover-write", max_threads, report});
   }
 
   const std::string path = ResultsDir() + "/BENCH_concurrent_tpcw.json";

@@ -13,6 +13,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

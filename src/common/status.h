@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnavailable,   // simulated node failure
   kUnimplemented, // e.g. joins not expressible in VoltDB partitioning
   kInternal,
+  kDeadlineExceeded, // operation deadline expired while retrying (RetryPolicy)
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

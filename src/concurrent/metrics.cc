@@ -13,6 +13,9 @@ WorkloadReport Aggregate(const std::vector<ThreadMetrics>& per_thread,
   for (const ThreadMetrics& t : per_thread) {
     report.total_ops += t.ops;
     report.total_errors += t.errors;
+    report.total_retries += t.retries;
+    report.total_degraded_ops += t.degraded_ops;
+    report.total_deadline_errors += t.deadline_errors;
     report.latency_us.Merge(t.latency_us);
     max_busy_us = std::max(max_busy_us, t.busy_virtual_us);
     if (report.first_error.ok() && !t.first_error.ok()) {

@@ -22,12 +22,28 @@
 
 namespace synergy::concurrent {
 
+/// Result of one successful client operation. Constructible from a bare
+/// virtual-µs cost so ops that don't track robustness counters stay terse.
+struct OpOutcome {
+  OpOutcome() = default;
+  OpOutcome(double us) : virtual_us(us) {}  // NOLINT: implicit by design
+  OpOutcome(double us, size_t r, size_t d)
+      : virtual_us(us), retries(r), degraded(d) {}
+
+  double virtual_us = 0.0;  // simulated cost of the op
+  size_t retries = 0;       // RPC/txn retries the op consumed
+  size_t degraded = 0;      // reads served at bounded staleness
+};
+
 /// Per-worker-thread counters; exclusively owned by one thread during the
 /// run, merged after join.
 struct ThreadMetrics {
   LatencyHistogram latency_us;  // virtual µs per completed operation
   size_t ops = 0;               // completed (successful) operations
   size_t errors = 0;            // failed operations
+  size_t retries = 0;           // retries consumed by successful ops
+  size_t degraded_ops = 0;      // ops that read degraded (stale-bounded) data
+  size_t deadline_errors = 0;   // errors that were deadline expirations
   double busy_virtual_us = 0.0; // sum of per-op virtual time on this thread
   Status first_error = Status::Ok();
 };
@@ -37,6 +53,9 @@ struct WorkloadReport {
   int threads = 0;
   size_t total_ops = 0;
   size_t total_errors = 0;
+  size_t total_retries = 0;        // retries consumed across all threads
+  size_t total_degraded_ops = 0;   // ops served from a degraded region
+  size_t total_deadline_errors = 0;  // errors that were deadline expirations
   double wall_seconds = 0.0;
   double virtual_seconds = 0.0;  // max over threads of busy virtual time
   LatencyHistogram latency_us;   // merged across all threads

@@ -20,15 +20,20 @@ WorkloadReport RunClosedLoop(const DriverConfig& config,
       const uint64_t seed = config.base_seed ^ static_cast<uint64_t>(tid);
       SessionOp op = factory(tid, seed);
       for (size_t i = 0; i < config.ops_per_thread; ++i) {
-        StatusOr<double> cost = op(i);
-        if (!cost.ok()) {
+        StatusOr<OpOutcome> outcome = op(i);
+        if (!outcome.ok()) {
           ++m.errors;
-          if (m.first_error.ok()) m.first_error = cost.status();
+          if (outcome.status().code() == StatusCode::kDeadlineExceeded) {
+            ++m.deadline_errors;
+          }
+          if (m.first_error.ok()) m.first_error = outcome.status();
           continue;
         }
         ++m.ops;
-        m.busy_virtual_us += *cost;
-        m.latency_us.Add(*cost);
+        m.retries += outcome->retries;
+        if (outcome->degraded > 0) ++m.degraded_ops;
+        m.busy_virtual_us += outcome->virtual_us;
+        m.latency_us.Add(outcome->virtual_us);
       }
     });
   }

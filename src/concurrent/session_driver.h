@@ -31,9 +31,10 @@ struct DriverConfig {
   uint64_t base_seed = 7;
 };
 
-/// One client operation; returns the virtual µs the op cost. Runs on a
-/// worker thread, `op_index` counts that thread's ops from 0.
-using SessionOp = std::function<StatusOr<double>(size_t op_index)>;
+/// One client operation; returns the op's outcome (virtual µs cost plus any
+/// retry/degraded counters; ops without them return `OpOutcome(cost_us)`).
+/// Runs on a worker thread, `op_index` counts that thread's ops from 0.
+using SessionOp = std::function<StatusOr<OpOutcome>(size_t op_index)>;
 
 /// Builds the op closure for one worker thread; invoked on the worker
 /// thread itself. Receives the thread id and the thread's seed

@@ -50,7 +50,7 @@ WorkloadReport RunTpcwMix(const DriverConfig& driver,
         // would replay the same stream).
         auto rng = std::make_shared<Rng>(seed * 0x9E3779B97F4A7C15ULL + 1);
         return [&exec, &mix, thread_id, params,
-                rng](size_t) -> StatusOr<double> {
+                rng](size_t) -> StatusOr<OpOutcome> {
           const bool is_read =
               mix.writes.empty() ||
               (!mix.reads.empty() &&

@@ -40,8 +40,9 @@ MixConfig MixedMix(double read_fraction = 0.8);
 MixConfig WriteHeavyMix();
 std::vector<MixConfig> StandardMixes();
 
-/// Executes one bound statement for a client thread; returns virtual µs.
-using StatementExecFn = std::function<StatusOr<double>(
+/// Executes one bound statement for a client thread; returns the op outcome
+/// (virtual µs plus retry/degraded counters).
+using StatementExecFn = std::function<StatusOr<OpOutcome>(
     int thread_id, const std::string& stmt_id,
     const std::vector<Value>& params)>;
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "exec/value_key.h"
+#include "testing/fault_injector.h"
 
 namespace synergy::exec {
 namespace {
@@ -663,7 +664,17 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
           const std::function<StatusOr<bool>(SlotRow&)>& fn) -> Status {
     SlotRow scratch;
     auto handle = [&](SlotRow& row) -> StatusOr<bool> {
-      if (options.detect_dirty && row.marked) return DirtyRead();
+      if (options.detect_dirty) {
+        if (row.marked) return DirtyRead();
+        // The dirty-read-restart fault point treats this (clean) row as if
+        // its dirty mark had been observed, forcing the §VIII-C abort so
+        // the restart loop in ExecuteSelect runs under test control.
+        fault::FaultInjector* faults = adapter_->cluster()->fault_injector();
+        if (faults != nullptr &&
+            faults->ShouldFire(fault::FaultPoint::kDirtyReadRestart)) {
+          return faults->InjectedFault(fault::FaultPoint::kDirtyReadRestart);
+        }
+      }
       return fn(row);
     };
     switch (step.path.kind) {

@@ -6,6 +6,45 @@
 
 namespace synergy::hbase {
 
+namespace {
+
+// Uniform status access for RunWithRetries over Status and StatusOr<T>.
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+inline const Status& StatusOf(const StatusOr<T>& s) {
+  return s.status();
+}
+
+}  // namespace
+
+template <typename Fn>
+auto Cluster::RunWithRetries(Session& s, Fn&& fn) -> decltype(fn()) {
+  using Result = decltype(fn());
+  if (!s.retry_policy().has_value() || s.retries_suppressed()) return fn();
+  RetryController retry(*s.retry_policy(), s.meter().micros());
+  for (;;) {
+    Result result = fn();
+    const Status& st = StatusOf(result);
+    if (st.ok()) return result;
+    const RetryController::Decision d =
+        retry.OnFailure(st, s.meter().micros());
+    if (!d.retry) {
+      if (d.final_status.code() == StatusCode::kDeadlineExceeded) {
+        s.CountDeadlineExceeded();
+        return Result(d.final_status);
+      }
+      return result;
+    }
+    s.CountRetry();
+    // The backoff is virtual wait: the client's clock advances, and so does
+    // the cluster's — heartbeat rounds keep running while we sleep, which
+    // is what lets a lone blocked client ride out failure detection plus
+    // region reassignment instead of livelocking.
+    s.meter().Charge(d.backoff_us);
+    failover_->PumpVirtualTime(d.backoff_us);
+  }
+}
+
 Status Cluster::CreateTable(const TableDescriptor& desc,
                             const std::vector<std::string>& split_keys) {
   std::unique_lock lock(tables_mutex_);
@@ -24,6 +63,9 @@ Status Cluster::InjectRequestFault(const std::string& table,
   const fault::FaultSite site{table, region->server_id()};
   if (faults_->ShouldFire(fault::FaultPoint::kRegionRpcFailure, site)) {
     return faults_->InjectedFault(fault::FaultPoint::kRegionRpcFailure);
+  }
+  if (faults_->ShouldFire(fault::FaultPoint::kRpcTimeout, site)) {
+    return faults_->InjectedFault(fault::FaultPoint::kRpcTimeout);
   }
   return Status::Ok();
 }
@@ -68,11 +110,22 @@ Status Cluster::Put(
     Session& s, const std::string& table, const std::string& row_key,
     const std::vector<std::pair<std::string, std::string>>& columns,
     std::optional<int64_t> ts) {
+  return RunWithRetries(
+      s, [&] { return PutOnce(s, table, row_key, columns, ts); });
+}
+
+Status Cluster::PutOnce(
+    Session& s, const std::string& table, const std::string& row_key,
+    const std::vector<std::pair<std::string, std::string>>& columns,
+    std::optional<int64_t> ts) {
+  failover_->OnRpc();
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   size_t payload = row_key.size();
   for (const auto& [qual, value] : columns) payload += qual.size() + value.size();
   s.meter().Charge(sim::RpcCost(model_, payload) + model_.server_seek_us);
   Region* region = t->RouteKey(row_key);
+  const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
+  SYNERGY_RETURN_IF_ERROR(access.status);
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   region->Put(row_key, columns, ts);
   return InjectAckFault(table, region);
@@ -80,10 +133,20 @@ Status Cluster::Put(
 
 StatusOr<RowResult> Cluster::Get(Session& s, const std::string& table,
                                  const std::string& row_key) {
+  return RunWithRetries(s, [&] { return GetOnce(s, table, row_key); });
+}
+
+StatusOr<RowResult> Cluster::GetOnce(Session& s, const std::string& table,
+                                     const std::string& row_key) {
+  failover_->OnRpc();
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
-  SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, t->RouteKey(row_key)));
-  std::optional<RowResult> row =
-      t->RouteKey(row_key)->Get(row_key, s.read_view());
+  Region* region = t->RouteKey(row_key);
+  const RegionAccess access =
+      failover_->CheckAccess(region, /*is_write=*/false);
+  SYNERGY_RETURN_IF_ERROR(access.status);
+  if (access.degraded) s.CountDegradedRead();
+  SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
+  std::optional<RowResult> row = region->Get(row_key, s.read_view());
   const size_t payload = row.has_value() ? row->PayloadBytes() : 0;
   s.meter().Charge(sim::RpcCost(model_, payload) + model_.server_seek_us);
   if (!row.has_value()) {
@@ -94,10 +157,19 @@ StatusOr<RowResult> Cluster::Get(Session& s, const std::string& table,
 
 Status Cluster::Delete(Session& s, const std::string& table,
                        const std::string& row_key, std::optional<int64_t> ts) {
+  return RunWithRetries(s, [&] { return DeleteOnce(s, table, row_key, ts); });
+}
+
+Status Cluster::DeleteOnce(Session& s, const std::string& table,
+                           const std::string& row_key,
+                           std::optional<int64_t> ts) {
+  failover_->OnRpc();
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   s.meter().Charge(sim::RpcCost(model_, row_key.size()) +
                    model_.server_seek_us);
   Region* region = t->RouteKey(row_key);
+  const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
+  SYNERGY_RETURN_IF_ERROR(access.status);
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   region->Delete(row_key, ts);
   return InjectAckFault(table, region);
@@ -108,11 +180,25 @@ StatusOr<bool> Cluster::CheckAndPut(Session& s, const std::string& table,
                                     const std::string& qualifier,
                                     const std::optional<std::string>& expected,
                                     const std::string& new_value) {
+  return RunWithRetries(s, [&] {
+    return CheckAndPutOnce(s, table, row_key, qualifier, expected, new_value);
+  });
+}
+
+StatusOr<bool> Cluster::CheckAndPutOnce(
+    Session& s, const std::string& table, const std::string& row_key,
+    const std::string& qualifier, const std::optional<std::string>& expected,
+    const std::string& new_value) {
+  failover_->OnRpc();
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   s.meter().Charge(model_.lock_rpc_us);
   // No ack-lost injection here: a CheckAndPut that applies but reports
   // failure is unresolvable ambiguity for the caller (non-idempotent CAS).
+  // Request-lost/timeout/failover refusals happen before the CAS applies,
+  // so the client retry loop stays safe.
   Region* region = t->RouteKey(row_key);
+  const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
+  SYNERGY_RETURN_IF_ERROR(access.status);
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   return region->CheckAndPut(row_key, qualifier, expected, new_value);
 }
@@ -121,10 +207,21 @@ StatusOr<int64_t> Cluster::Increment(Session& s, const std::string& table,
                                      const std::string& row_key,
                                      const std::string& qualifier,
                                      int64_t delta) {
+  return RunWithRetries(
+      s, [&] { return IncrementOnce(s, table, row_key, qualifier, delta); });
+}
+
+StatusOr<int64_t> Cluster::IncrementOnce(Session& s, const std::string& table,
+                                         const std::string& row_key,
+                                         const std::string& qualifier,
+                                         int64_t delta) {
+  failover_->OnRpc();
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   s.meter().Charge(sim::RpcCost(model_, row_key.size() + 16) +
                    model_.server_seek_us);
   Region* region = t->RouteKey(row_key);
+  const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
+  SYNERGY_RETURN_IF_ERROR(access.status);
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   return region->Increment(row_key, qualifier, delta);
 }
@@ -143,8 +240,22 @@ StatusOr<ScanBatchResult> Cluster::ScanBatchRpc(Session& s,
                                                 const std::string& from,
                                                 const std::string& stop,
                                                 size_t limit) {
+  return RunWithRetries(
+      s, [&] { return ScanBatchRpcOnce(s, table, from, stop, limit); });
+}
+
+StatusOr<ScanBatchResult> Cluster::ScanBatchRpcOnce(Session& s,
+                                                    const std::string& table,
+                                                    const std::string& from,
+                                                    const std::string& stop,
+                                                    size_t limit) {
+  failover_->OnRpc();
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   Region* region = t->RouteScanStart(from);
+  const RegionAccess access =
+      failover_->CheckAccess(region, /*is_write=*/false);
+  SYNERGY_RETURN_IF_ERROR(access.status);
+  if (access.degraded) s.CountDegradedRead();
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   ScanBatchResult batch = region->ScanBatch(from, stop, limit, s.read_view());
   // If the region was exhausted but the table continues, resume from the
@@ -207,6 +318,15 @@ bool Scanner::Next(RowResult* out) {
   return true;
 }
 
+std::vector<Region*> Cluster::AllRegions() const {
+  std::shared_lock lock(tables_mutex_);
+  std::vector<Region*> out;
+  for (const auto& [name, table] : tables_) {
+    for (Region* region : table->SnapshotRegions()) out.push_back(region);
+  }
+  return out;
+}
+
 void Cluster::MajorCompactAll() {
   std::shared_lock lock(tables_mutex_);
   for (auto& [name, table] : tables_) table->MajorCompact();
@@ -240,6 +360,13 @@ size_t Cluster::ApproxRowCount(const std::string& table) const {
   StatusOr<Table*> t = FindTable(table);
   if (!t.ok()) return 0;
   return (*t)->ApproxRowCount();
+}
+
+StatusOr<int> Cluster::RegionServerOf(const std::string& table) const {
+  SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
+  const std::vector<Region*> regions = t->SnapshotRegions();
+  if (regions.empty()) return Status::NotFound("table has no regions");
+  return regions.front()->server_id();
 }
 
 size_t Cluster::TotalBytes() const {

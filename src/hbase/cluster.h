@@ -7,15 +7,20 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "hbase/failover.h"
+#include "hbase/retry_policy.h"
 #include "hbase/table.h"
 #include "sim/cost_model.h"
 
@@ -41,10 +46,60 @@ class Session {
   void ClearReadView() { view_ = ReadView{}; }
   const ReadView& read_view() const { return view_; }
 
+  /// Opt-in retries: with a policy installed, every Cluster entry point
+  /// (Get/Put/Delete/CheckAndPut/Increment/scan batches) retries retryable
+  /// errors with backoff charged as virtual time. Default: no retries, so
+  /// deterministic fault schedules see every error exactly once.
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  void ClearRetryPolicy() { retry_policy_.reset(); }
+  const std::optional<RetryPolicy>& retry_policy() const {
+    return retry_policy_;
+  }
+
+  /// While suppressed, entry points skip their retry loops even with a
+  /// policy installed. The txn layer sets this around root-write bodies:
+  /// a kUnavailable there must surface as a slave crash (§VIII), and the
+  /// root-level retry in TxnLayer::SubmitWrite already owns the deadline —
+  /// nested RPC retries would stack unboundedly. Not synchronized: only
+  /// the thread currently driving the session may toggle it (the slave
+  /// worker is handed the session via the queue's happens-before).
+  void SuppressRetries(bool on) { retry_suppressed_ = on; }
+  bool retries_suppressed() const { return retry_suppressed_; }
+
+  // Availability counters. Atomic because txn-slave workers execute write
+  // bodies against the client's session from another thread (same contract
+  // as CostMeter: commuting adds, read after the submit future resolves).
+  void CountRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void CountDegradedRead() {
+    degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountDeadlineExceeded() {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t degraded_reads() const {
+    return degraded_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t deadline_exceeded() const {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+  void ResetOpStats() {
+    retries_.store(0, std::memory_order_relaxed);
+    degraded_reads_.store(0, std::memory_order_relaxed);
+    deadline_exceeded_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   Cluster* cluster_;
   sim::CostMeter meter_;
   ReadView view_;
+  std::optional<RetryPolicy> retry_policy_;
+  bool retry_suppressed_ = false;
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> degraded_reads_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
 };
 
 /// Streaming scanner with per-batch RPC cost accounting. Obtain via
@@ -56,10 +111,40 @@ class Scanner {
   bool Next(RowResult* out);
 
   /// Non-OK when the scan terminated on a batch-RPC error (e.g. an injected
-  /// region fault) rather than genuine exhaustion.
-  const Status& status() const { return status_; }
+  /// region fault) rather than genuine exhaustion. Every consumer must call
+  /// this before dropping a scanner: destroying one that hit an error
+  /// without looking is the silent-truncation bug PR 6's error channel was
+  /// built to kill, and the destructor asserts against it in debug builds.
+  const Status& status() const {
+    status_checked_ = true;
+    return status_;
+  }
 
   size_t rows_returned() const { return rows_returned_; }
+
+  Scanner(const Scanner&) = delete;
+  Scanner& operator=(const Scanner&) = delete;
+  Scanner(Scanner&& other) noexcept { *this = std::move(other); }
+  Scanner& operator=(Scanner&& other) noexcept {
+    cluster_ = other.cluster_;
+    session_ = other.session_;
+    table_ = std::move(other.table_);
+    next_start_ = std::move(other.next_start_);
+    stop_ = std::move(other.stop_);
+    batch_rows_ = other.batch_rows_;
+    buffer_ = std::move(other.buffer_);
+    buffer_pos_ = other.buffer_pos_;
+    exhausted_ = other.exhausted_;
+    rows_returned_ = other.rows_returned_;
+    status_ = std::move(other.status_);
+    status_checked_ = other.status_checked_;
+    other.status_checked_ = true;  // responsibility moved with the status
+    return *this;
+  }
+  ~Scanner() {
+    assert((status_.ok() || status_checked_) &&
+           "Scanner dropped with an unchecked error status — call status()");
+  }
 
  private:
   friend class Cluster;
@@ -85,6 +170,7 @@ class Scanner {
   bool exhausted_ = false;
   size_t rows_returned_ = 0;
   Status status_ = Status::Ok();
+  mutable bool status_checked_ = false;
 };
 
 struct TableSizeInfo {
@@ -98,10 +184,28 @@ class Cluster {
  public:
   explicit Cluster(sim::CostModel model = sim::CostModel::Ec2Like(),
                    int num_region_servers = 5)
-      : model_(model), num_region_servers_(num_region_servers) {}
+      : model_(model), num_region_servers_(num_region_servers),
+        failover_(std::make_unique<FailoverManager>(this,
+                                                    num_region_servers)) {}
 
   const sim::CostModel& cost_model() const { return model_; }
   int num_region_servers() const { return num_region_servers_; }
+
+  /// Membership/failure-detection layer. Always on; heartbeat rounds are
+  /// driven by RPC ticks, so a healthy idle cluster does no work.
+  FailoverManager& failover() { return *failover_; }
+  const FailoverManager& failover() const { return *failover_; }
+
+  /// Replaces the failover manager with one using `config` (tests tune the
+  /// heartbeat cadence / lease length). Not thread-safe: call before any
+  /// concurrent traffic.
+  void ConfigureFailover(FailoverConfig config) {
+    failover_ =
+        std::make_unique<FailoverManager>(this, num_region_servers_, config);
+  }
+
+  /// Stable pointers to every region of every table (failover sweeps).
+  std::vector<Region*> AllRegions() const;
 
   /// Installs (or clears, with nullptr) the fault injector consulted at the
   /// RPC boundary of every store operation. Injected request-lost faults
@@ -155,26 +259,64 @@ class Cluster {
   size_t TotalBytes() const;
   /// Cheap per-table row count for planner estimates (O(#regions)).
   size_t ApproxRowCount(const std::string& table) const;
+  /// Server hosting the table's first region (failover benches/tests pick
+  /// their crash victim by the table they intend to disrupt).
+  StatusOr<int> RegionServerOf(const std::string& table) const;
 
  private:
   friend class Scanner;
 
   StatusOr<Table*> FindTable(const std::string& name) const;
 
-  /// Fault hook before an RPC touches `region`: non-OK = request lost.
+  /// Fault hook before an RPC touches `region`: non-OK = request lost
+  /// (region-rpc-failure) or timed out in flight (rpc-timeout). Either way
+  /// nothing was applied, so the error is retry-safe.
   Status InjectRequestFault(const std::string& table, const Region* region);
   /// Fault hook after a mutation applied: non-OK = acknowledgement lost.
   Status InjectAckFault(const std::string& table, const Region* region);
 
+  /// Runs `fn` (one RPC attempt returning Status or StatusOr<T>) under the
+  /// session's retry policy, charging backoff as virtual time and pumping
+  /// failover heartbeats through the waits.
+  template <typename Fn>
+  auto RunWithRetries(Session& s, Fn&& fn) -> decltype(fn());
+
+  // Single-attempt bodies of the public entry points.
+  Status PutOnce(Session& s, const std::string& table,
+                 const std::string& row_key,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     columns,
+                 std::optional<int64_t> ts);
+  StatusOr<RowResult> GetOnce(Session& s, const std::string& table,
+                              const std::string& row_key);
+  Status DeleteOnce(Session& s, const std::string& table,
+                    const std::string& row_key, std::optional<int64_t> ts);
+  StatusOr<bool> CheckAndPutOnce(Session& s, const std::string& table,
+                                 const std::string& row_key,
+                                 const std::string& qualifier,
+                                 const std::optional<std::string>& expected,
+                                 const std::string& new_value);
+  StatusOr<int64_t> IncrementOnce(Session& s, const std::string& table,
+                                  const std::string& row_key,
+                                  const std::string& qualifier, int64_t delta);
+
   /// One scan RPC: fetch up to `limit` visible rows starting at `from`.
+  /// Retries per batch under the session policy (a failed batch applied
+  /// nothing, so the resume key is still valid).
   StatusOr<ScanBatchResult> ScanBatchRpc(Session& s, const std::string& table,
                                          const std::string& from,
                                          const std::string& stop,
                                          size_t limit);
+  StatusOr<ScanBatchResult> ScanBatchRpcOnce(Session& s,
+                                             const std::string& table,
+                                             const std::string& from,
+                                             const std::string& stop,
+                                             size_t limit);
 
   sim::CostModel model_;
   int num_region_servers_;
   fault::FaultInjector* faults_ = nullptr;
+  std::unique_ptr<FailoverManager> failover_;
   std::atomic<int64_t> clock_{0};
   // Reader-writer latch on the table catalog: every DML op resolves its
   // table here, so concurrent sessions take it shared; only DDL is exclusive.

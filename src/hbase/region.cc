@@ -31,6 +31,7 @@ void Region::Put(
   for (const auto& [qual, value] : columns) {
     row[qual].AddVersion(CellVersion{t, value, /*tombstone=*/false});
   }
+  AppendEdit(RegionEdit{row_key, columns, t, /*tombstone=*/false});
 }
 
 void Region::Delete(const std::string& row_key, std::optional<int64_t> ts) {
@@ -38,9 +39,12 @@ void Region::Delete(const std::string& row_key, std::optional<int64_t> ts) {
   auto it = rows_.find(row_key);
   if (it == rows_.end()) return;
   const int64_t t = AllocTs(ts);
+  RegionEdit edit{row_key, {}, t, /*tombstone=*/true};
   for (auto& [qual, cell] : it->second) {
     cell.AddVersion(CellVersion{t, "", /*tombstone=*/true});
+    edit.columns.emplace_back(qual, "");
   }
+  AppendEdit(std::move(edit));
 }
 
 void Region::DeleteColumn(const std::string& row_key,
@@ -51,7 +55,9 @@ void Region::DeleteColumn(const std::string& row_key,
   if (it == rows_.end()) return;
   auto cit = it->second.find(qualifier);
   if (cit == it->second.end()) return;
-  cit->second.AddVersion(CellVersion{AllocTs(ts), "", /*tombstone=*/true});
+  const int64_t t = AllocTs(ts);
+  cit->second.AddVersion(CellVersion{t, "", /*tombstone=*/true});
+  AppendEdit(RegionEdit{row_key, {{qualifier, ""}}, t, /*tombstone=*/true});
 }
 
 std::optional<RowResult> Region::Get(const std::string& row_key,
@@ -72,8 +78,10 @@ bool Region::CheckAndPut(const std::string& row_key,
   auto cit = row.find(qualifier);
   if (cit != row.end()) current = cit->second.Latest();
   if (current != expected) return false;
-  row[qualifier].AddVersion(
-      CellVersion{AllocTs(std::nullopt), new_value, /*tombstone=*/false});
+  const int64_t t = AllocTs(std::nullopt);
+  row[qualifier].AddVersion(CellVersion{t, new_value, /*tombstone=*/false});
+  AppendEdit(
+      RegionEdit{row_key, {{qualifier, new_value}}, t, /*tombstone=*/false});
   return true;
 }
 
@@ -95,9 +103,11 @@ StatusOr<int64_t> Region::Increment(const std::string& row_key,
     }
   }
   const int64_t next = current + delta;
-  row[qualifier].AddVersion(CellVersion{AllocTs(std::nullopt),
-                                        std::to_string(next),
-                                        /*tombstone=*/false});
+  const int64_t t = AllocTs(std::nullopt);
+  std::string encoded = std::to_string(next);
+  row[qualifier].AddVersion(CellVersion{t, encoded, /*tombstone=*/false});
+  AppendEdit(RegionEdit{row_key, {{qualifier, std::move(encoded)}}, t,
+                        /*tombstone=*/false});
   return next;
 }
 
@@ -194,6 +204,40 @@ void Region::SplitInto(const std::string& split, Region* right) {
   right->rows_.insert(std::make_move_iterator(it),
                       std::make_move_iterator(rows_.end()));
   rows_.erase(it, rows_.end());
+  // Partition the edit log with the rows so each daughter can replay its own
+  // half after a crash (append order within each half is preserved).
+  std::vector<RegionEdit> keep;
+  keep.reserve(log_.size());
+  for (RegionEdit& edit : log_) {
+    if (edit.row_key >= split) {
+      right->log_.push_back(std::move(edit));
+    } else {
+      keep.push_back(std::move(edit));
+    }
+  }
+  log_ = std::move(keep);
+}
+
+void Region::DropStore() {
+  std::unique_lock lock(mutex_);
+  rows_.clear();
+  store_lost_.store(true, std::memory_order_release);
+}
+
+void Region::ReplayEdits() {
+  std::unique_lock lock(mutex_);
+  for (const RegionEdit& edit : log_) {
+    RowData& row = rows_[edit.row_key];
+    for (const auto& [qual, value] : edit.columns) {
+      row[qual].AddVersion(CellVersion{edit.ts, value, edit.tombstone});
+    }
+  }
+  store_lost_.store(false, std::memory_order_release);
+}
+
+size_t Region::EditLogSize() const {
+  std::shared_lock lock(mutex_);
+  return log_.size();
 }
 
 }  // namespace synergy::hbase

@@ -34,6 +34,19 @@ struct ScanBatchResult {
   size_t rows_examined = 0;  // server-side work including filtered rows
 };
 
+/// One durably-logged mutation of a region, recorded under the region latch
+/// with the exact cell timestamp it applied at. Replaying a region's edit
+/// log in order reproduces the store byte-for-byte (same versions, same
+/// timestamps), which is what lets failover move a dead server's regions
+/// without losing acknowledged writes. CheckAndPut/Increment log their
+/// *resulting* value, so replay needs no re-evaluation.
+struct RegionEdit {
+  std::string row_key;
+  std::vector<std::pair<std::string, std::string>> columns;
+  int64_t ts = 0;
+  bool tombstone = false;  // true: each column entry is a tombstone marker
+};
+
 class Region {
  public:
   /// `clock` allocates write timestamps *inside* the region latch when the
@@ -49,7 +62,13 @@ class Region {
 
   const std::string& start_key() const { return start_key_; }
   const std::string& end_key() const { return end_key_; }
-  int server_id() const { return server_id_; }
+  int server_id() const { return server_id_.load(std::memory_order_acquire); }
+  /// Reassigns the region to another server (failover). The release store
+  /// pairs with the acquire load in server_id(): a client that routes to the
+  /// new server sees the replayed store.
+  void set_server_id(int id) {
+    server_id_.store(id, std::memory_order_release);
+  }
 
   /// Key containment: [start_key, end_key); empty end_key = unbounded.
   bool Contains(const std::string& key) const {
@@ -105,17 +124,44 @@ class Region {
   /// Shrinks this region's upper bound after a split.
   void SetEndKey(std::string end_key) { end_key_ = std::move(end_key); }
 
+  // ---- Failover support (see hbase/failover.h) ----
+
+  /// Simulates the server process dying: the in-memory store is wiped but
+  /// the edit log (the region WAL, durably replicated in real HBase)
+  /// survives. Reads/writes are fenced by the failover layer until
+  /// ReplayEdits() rebuilds the store on the new server.
+  void DropStore();
+
+  /// Rebuilds the store by replaying the edit log in append order with the
+  /// original timestamps. Idempotent only from an empty store: callers must
+  /// not replay into an intact store (it would duplicate versions), which is
+  /// why fenced-but-alive servers (heartbeat loss) skip replay.
+  void ReplayEdits();
+
+  /// True between DropStore() and ReplayEdits(): the store content is gone
+  /// and even stale reads would be wrong (silently empty).
+  bool store_lost() const {
+    return store_lost_.load(std::memory_order_acquire);
+  }
+
+  size_t EditLogSize() const;
+
  private:
   int64_t AllocTs(std::optional<int64_t> ts) {
     return ts.has_value() ? *ts : clock_->fetch_add(1) + 1;
   }
 
+  /// Records one mutation in the edit log. Caller holds mutex_ exclusively.
+  void AppendEdit(RegionEdit edit) { log_.push_back(std::move(edit)); }
+
   std::string start_key_;
   std::string end_key_;
   std::atomic<int64_t>* clock_;
-  int server_id_ = 0;
+  std::atomic<int> server_id_{0};
+  std::atomic<bool> store_lost_{false};
   mutable std::shared_mutex mutex_;
   std::map<std::string, RowData> rows_;
+  std::vector<RegionEdit> log_;  // region WAL; split-partitioned with rows_
 };
 
 }  // namespace synergy::hbase

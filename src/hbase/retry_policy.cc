@@ -1,0 +1,50 @@
+#include "hbase/retry_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace synergy::hbase {
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+double RetryController::DeadlineRemaining(double now_us) const {
+  if (policy_.deadline_us <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return policy_.deadline_us - (now_us - start_us_);
+}
+
+RetryController::Decision RetryController::OnFailure(const Status& status,
+                                                     double now_us) {
+  ++attempts_;
+  if (!IsRetryable(status)) {
+    return {false, 0.0, status};
+  }
+  // Deadline first: a blown budget outranks remaining attempts, so tightly
+  // budgeted operations fail fast with kDeadlineExceeded instead of
+  // burning the full attempt count.
+  const double remaining = DeadlineRemaining(now_us);
+  double backoff = next_backoff_us_;
+  if (policy_.jitter_fraction > 0.0) {
+    backoff *= 1.0 + rng_.UniformReal(-policy_.jitter_fraction,
+                                      policy_.jitter_fraction);
+  }
+  backoff = std::max(backoff, 0.0);
+  if (backoff > remaining) {
+    return {false, 0.0,
+            Status::DeadlineExceeded("operation deadline exceeded after " +
+                                     std::to_string(attempts_) +
+                                     " attempt(s); last error: " +
+                                     status.ToString())};
+  }
+  if (attempts_ >= policy_.max_attempts) {
+    return {false, 0.0, status};
+  }
+  next_backoff_us_ = std::min(next_backoff_us_ * policy_.backoff_multiplier,
+                              policy_.max_backoff_us);
+  return {true, backoff, Status::Ok()};
+}
+
+}  // namespace synergy::hbase

@@ -1,0 +1,85 @@
+// Client-side retry/deadline policy for cluster RPCs and root transactions.
+//
+// Every Cluster entry point (Get/Put/Scan/CheckAndPut/Increment) and the
+// txn-layer submit path share one taxonomy: kUnavailable errors (lost RPCs,
+// dead/fenced region servers, crashed txn slaves, regions mid-reassignment)
+// are *retryable*; everything else (NotFound, Aborted, FailedPrecondition,
+// ...) passes through untouched. Retries back off exponentially with seeded
+// jitter, capped, against a per-operation virtual-time deadline. Backoff is
+// charged to the session's CostMeter as virtual time, so retries show up in
+// benchmark tail latencies instead of hiding in host sleeps.
+//
+// Policies are opt-in per Session (default: no retries), so deterministic
+// fault schedules in existing tests keep their exact hit sequences.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace synergy::hbase {
+
+/// Tunable knobs for one client's retry behavior. Values are virtual µs.
+struct RetryPolicy {
+  int max_attempts = 8;              // total attempts, including the first
+  double initial_backoff_us = 2000;  // first retry delay
+  double max_backoff_us = 256000;    // cap for the exponential growth
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.25;     // each delay *= 1 ± U(0,jitter_fraction)
+  double deadline_us = 10000000;     // per-operation budget; <= 0 disables
+  uint64_t jitter_seed = 0xC0FFEE;   // seeds the jitter stream (deterministic)
+};
+
+/// True for errors the policy may retry: kUnavailable (lost RPC, timeout,
+/// dead server, region mid-move, crashed slave). kDeadlineExceeded itself is
+/// terminal, as is every application-level code.
+bool IsRetryable(const Status& status);
+
+/// Per-operation retry state: owns the jitter RNG and the deadline anchor.
+/// Usage:
+///   RetryController retry(policy, meter.micros());
+///   for (;;) {
+///     Status s = DoRpc();
+///     if (s.ok()) break;
+///     auto d = retry.OnFailure(s, meter.micros());
+///     if (!d.retry) return d.final_status;
+///     meter.Charge(d.backoff_us);
+///   }
+class RetryController {
+ public:
+  RetryController(const RetryPolicy& policy, double start_virtual_us)
+      : policy_(policy),
+        start_us_(start_virtual_us),
+        next_backoff_us_(policy.initial_backoff_us),
+        rng_(policy.jitter_seed) {}
+
+  struct Decision {
+    bool retry = false;
+    double backoff_us = 0.0;  // virtual time to charge before the next try
+    Status final_status;      // meaningful only when !retry
+  };
+
+  /// Decide what to do after a failed attempt at virtual time `now_us`.
+  /// Non-retryable statuses pass through unchanged; exhausted attempts
+  /// surface the last error; a blown deadline surfaces kDeadlineExceeded
+  /// (wrapping the last error's message for replay forensics).
+  Decision OnFailure(const Status& status, double now_us);
+
+  /// Attempts made so far (1 after the first OnFailure call).
+  int attempts() const { return attempts_; }
+  /// Retries granted so far (attempts - 1, never negative).
+  int retries_granted() const { return attempts_ > 0 ? attempts_ - 1 : 0; }
+
+  /// Virtual µs left before the deadline, or a large value when disabled.
+  double DeadlineRemaining(double now_us) const;
+
+ private:
+  RetryPolicy policy_;
+  double start_us_;
+  double next_backoff_us_;
+  int attempts_ = 0;
+  Rng rng_;
+};
+
+}  // namespace synergy::hbase

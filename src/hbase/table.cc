@@ -73,6 +73,14 @@ void Table::MajorCompact() {
   for (const auto& r : regions_) r->MajorCompact(desc_.max_versions);
 }
 
+std::vector<Region*> Table::SnapshotRegions() const {
+  std::shared_lock lock(mutex_);
+  std::vector<Region*> out;
+  out.reserve(regions_.size());
+  for (const auto& r : regions_) out.push_back(r.get());
+  return out;
+}
+
 void Table::MaybeSplit() {
   if (desc_.split_threshold_rows == 0) return;
   std::unique_lock lock(mutex_);

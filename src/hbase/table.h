@@ -46,6 +46,11 @@ class Table {
   /// Splits any region exceeding the descriptor threshold at its median key.
   void MaybeSplit();
 
+  /// Stable pointers to every current region (failover reassignment sweeps).
+  /// Regions are never destroyed, so the pointers outlive the snapshot; a
+  /// region split racing the snapshot is picked up on the next sweep.
+  std::vector<Region*> SnapshotRegions() const;
+
  private:
   int NextServerId() {
     return num_region_servers_ > 0 ? next_server_++ % num_region_servers_ : 0;

@@ -75,6 +75,14 @@ Status SynergySystem::Build(const sql::Catalog& base_catalog,
   locks_ = std::make_unique<txn::LockManager>(cluster_);
   txn_layer_ = std::make_unique<txn::TxnLayer>(cluster_, locks_.get(),
                                                config_.txn_slaves);
+  // Lets SubmitWrite's retry loop heal a drained slave pool on its own:
+  // under region-server failover every in-flight write body sees
+  // kUnavailable and kills its slave, so without auto-recovery the pool
+  // would empty long before the lease even expires.
+  txn_layer_->SetReplayFn([this](hbase::Session& s,
+                                 const std::string& payload) {
+    return ReplayPayload(s, payload);
+  });
   if (faults_ != nullptr) SetFaultInjector(faults_);
   built_ = true;
   return Status::Ok();

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "hbase/retry_policy.h"
 #include "tpcw/generator.h"
 
 namespace synergy::systems {
@@ -16,6 +17,8 @@ struct StatementResult {
   double virtual_ms = 0;
   size_t rows = 0;
   bool supported = true;  // false: join not expressible (VoltDB)
+  size_t retries = 0;     // RPC/txn retries the statement consumed
+  size_t degraded = 0;    // reads served from a degraded (failed-over) region
 };
 
 class EvaluatedSystem {
@@ -41,6 +44,11 @@ class EvaluatedSystem {
 
   /// Names of materialized views the system created (diagnostics).
   virtual std::vector<std::string> ViewNames() const { return {}; }
+
+  /// Arms client-side RPC retries for subsequent Execute calls. Default is
+  /// a no-op: systems without a retrying client path just run un-retried,
+  /// which is also the correct behaviour for deterministic fault tests.
+  virtual void SetRetryPolicy(const hbase::RetryPolicy&) {}
 };
 
 enum class SystemKind { kVoltDb, kSynergy, kMvccA, kMvccUA, kBaseline };

@@ -44,13 +44,16 @@ concurrent::WorkloadReport MeasureConcurrent(EvaluatedSystem& system,
   return concurrent::RunTpcwMix(
       driver, scale, mix,
       [&system](int, const std::string& stmt_id,
-                const std::vector<Value>& params) -> StatusOr<double> {
+                const std::vector<Value>& params)
+          -> StatusOr<concurrent::OpOutcome> {
         SYNERGY_ASSIGN_OR_RETURN(r, system.Execute(stmt_id, params));
         if (!r.supported) {
           return Status::Unimplemented("statement " + stmt_id +
                                        " unsupported by " + system.name());
         }
-        return r.virtual_ms * 1000.0;  // report in virtual µs
+        // Cost is reported in virtual µs, alongside robustness counters.
+        return concurrent::OpOutcome(r.virtual_ms * 1000.0, r.retries,
+                                     r.degraded);
       });
 }
 

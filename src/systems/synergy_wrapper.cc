@@ -37,6 +37,7 @@ StatusOr<StatementResult> SynergyWrapper::Execute(
   const sql::WorkloadStatement* stmt = system_->workload().Find(stmt_id);
   if (stmt == nullptr) return Status::NotFound("statement " + stmt_id);
   hbase::Session s(cluster_.get());
+  if (retry_policy_.has_value()) s.SetRetryPolicy(*retry_policy_);
   StatementResult result;
   if (const auto* sel = std::get_if<sql::SelectStatement>(&stmt->ast)) {
     SYNERGY_ASSIGN_OR_RETURN(
@@ -48,6 +49,8 @@ StatusOr<StatementResult> SynergyWrapper::Execute(
     result.rows = write.base_rows_affected;
   }
   result.virtual_ms = s.meter().millis();
+  result.retries = s.retries();
+  result.degraded = s.degraded_reads();
   return result;
 }
 

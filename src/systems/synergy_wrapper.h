@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "synergy/synergy_system.h"
 #include "systems/evaluated_system.h"
@@ -31,12 +32,20 @@ class SynergyWrapper : public EvaluatedSystem {
   }
   std::vector<std::string> ViewNames() const override;
 
+  /// Every Execute builds a fresh Session; an armed policy is installed on
+  /// each of them, so RPC and root-txn retries engage for all statements.
+  void SetRetryPolicy(const hbase::RetryPolicy& policy) override {
+    retry_policy_ = policy;
+  }
+
   core::SynergySystem* system() { return system_.get(); }
+  hbase::Cluster* cluster() { return cluster_.get(); }
 
  private:
   std::string name_;
   std::vector<std::string> roots_;
   int txn_slaves_ = 1;
+  std::optional<hbase::RetryPolicy> retry_policy_;
   std::unique_ptr<hbase::Cluster> cluster_;
   std::unique_ptr<core::SynergySystem> system_;
 };

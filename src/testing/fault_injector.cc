@@ -10,6 +10,8 @@ namespace {
 constexpr const char* kNames[kNumFaultPoints] = {
     "crash-after-wal-append", "crash-before-execute", "drop-lock-release",
     "region-rpc-failure",     "region-rpc-ack-lost",  "wal-append-failure",
+    "server-crash",           "heartbeat-loss",       "rpc-timeout",
+    "dirty-read-restart",
 };
 
 constexpr char kInjectedPrefix[] = "injected fault: ";
@@ -80,8 +82,13 @@ bool FaultInjector::ShouldFire(FaultPoint point, const FaultSite& site) {
 }
 
 Status FaultInjector::InjectedFault(FaultPoint point) const {
-  return Status::Unavailable(kInjectedPrefix +
-                             std::string(FaultPointName(point)));
+  std::string message = kInjectedPrefix + std::string(FaultPointName(point));
+  // Dirty-read restarts are transaction aborts, not node failures: they must
+  // drive the executor's §VIII-C restart loop rather than slave failover.
+  if (point == FaultPoint::kDirtyReadRestart) {
+    return Status::Aborted(std::move(message));
+  }
+  return Status::Unavailable(std::move(message));
 }
 
 int64_t FaultInjector::HitCount(FaultPoint point) const {
@@ -114,7 +121,8 @@ std::string FaultInjector::Report() const {
 }
 
 bool IsInjectedFault(const Status& status) {
-  return status.code() == StatusCode::kUnavailable &&
+  return (status.code() == StatusCode::kUnavailable ||
+          status.code() == StatusCode::kAborted) &&
          status.message().rfind(kInjectedPrefix, 0) == 0;
 }
 

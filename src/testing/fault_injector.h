@@ -49,9 +49,27 @@ enum class FaultPoint : int {
   /// The WAL append itself fails (simulated HDFS hiccup); the write is
   /// rejected before any state changed.
   kWalAppendFailure,
+  /// A whole region server crashes: its in-memory stores are wiped and the
+  /// failover layer must detect the loss, reassign the regions and replay
+  /// their region WALs. Consulted per live server on each heartbeat round;
+  /// filter with FaultRule::server_id to target one server.
+  kRegionServerCrash,
+  /// A live server's heartbeat is lost for one round: the server keeps its
+  /// data but the membership layer sees it as silent. Enough consecutive
+  /// losses expire the lease and the server is fenced (regions move without
+  /// replay — the store is intact, so replaying would duplicate versions).
+  kHeartbeatLoss,
+  /// A store RPC times out before reaching the region (lost in flight,
+  /// nothing applied) — same recovery contract as region-rpc-failure but
+  /// surfaced with a timeout message so retry taxonomies can distinguish it.
+  kRpcTimeout,
+  /// Forces the §VIII-C dirty-read detection path: a scanned row is treated
+  /// as dirty, aborting the statement so the executor's restart loop runs.
+  /// Surfaces as kAborted (not kUnavailable) — the only point that does.
+  kDirtyReadRestart,
 };
 
-inline constexpr int kNumFaultPoints = 6;
+inline constexpr int kNumFaultPoints = 10;
 
 /// Stable, kebab-case name used in schedules, logs and docs.
 const char* FaultPointName(FaultPoint point);

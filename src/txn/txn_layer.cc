@@ -75,11 +75,35 @@ bool SlaveNode::Fire(fault::FaultPoint point) {
   return faults_ != nullptr && faults_->ShouldFire(point);
 }
 
+namespace {
+
+/// Disables session-level RPC retries for the extent of the slave write
+/// protocol: mid-body kUnavailable must reach the slave (it is the crash
+/// signal that leaks the lock for failover), and the root-level retry in
+/// TxnLayer::SubmitWrite already owns the operation's deadline. The worker
+/// thread toggles the client's session here; the client is blocked on the
+/// submit future, so access is serialized by the queue handoff.
+class SuppressRetriesScope {
+ public:
+  explicit SuppressRetriesScope(hbase::Session& s)
+      : session_(&s), prev_(s.retries_suppressed()) {
+    s.SuppressRetries(true);
+  }
+  ~SuppressRetriesScope() { session_->SuppressRetries(prev_); }
+
+ private:
+  hbase::Session* session_;
+  bool prev_;
+};
+
+}  // namespace
+
 StatusOr<int64_t> SlaveNode::ExecuteWrite(hbase::Session& s,
                                           const std::string& payload,
                                           const std::optional<LockSpec>& lock,
                                           const WriteBody& body) {
   if (failed_.load()) return Status::Unavailable("slave is down");
+  SuppressRetriesScope no_rpc_retries(s);
   s.meter().Charge(cluster_->cost_model().txn_layer_dispatch_us);
   SYNERGY_ASSIGN_OR_RETURN(txn_id, wal_->Append(s, payload, lock));
 
@@ -151,6 +175,36 @@ StatusOr<int64_t> TxnLayer::SubmitWrite(hbase::Session& s,
                                         const std::string& payload,
                                         const std::optional<LockSpec>& lock,
                                         const WriteBody& body) {
+  if (!s.retry_policy().has_value() || s.retries_suppressed()) {
+    return SubmitWriteOnce(s, payload, lock, body);
+  }
+  hbase::RetryController retry(*s.retry_policy(), s.meter().micros());
+  for (;;) {
+    StatusOr<int64_t> result = SubmitWriteOnce(s, payload, lock, body);
+    if (result.ok()) return result;
+    const hbase::RetryController::Decision d =
+        retry.OnFailure(result.status(), s.meter().micros());
+    if (!d.retry) {
+      if (d.final_status.code() == StatusCode::kDeadlineExceeded) {
+        s.CountDeadlineExceeded();
+        return d.final_status;
+      }
+      return result;
+    }
+    s.CountRetry();
+    s.meter().Charge(d.backoff_us);
+    // The backoff also advances the cluster's heartbeat time: region
+    // failover makes progress while this client waits, instead of the two
+    // subsystems deadlocking on each other's inactivity.
+    cluster_->failover().PumpVirtualTime(d.backoff_us);
+    MaybeAutoRecover();
+  }
+}
+
+StatusOr<int64_t> TxnLayer::SubmitWriteOnce(hbase::Session& s,
+                                            const std::string& payload,
+                                            const std::optional<LockSpec>& lock,
+                                            const WriteBody& body) {
   // Shared lock held across the write: DetectAndRecover cannot destroy the
   // slave out from under us.
   std::shared_lock pool_lock(slaves_mutex_);
@@ -161,6 +215,27 @@ StatusOr<int64_t> TxnLayer::SubmitWrite(hbase::Session& s,
     return slave->ProcessWrite(s, payload, lock, body);
   }
   return Status::Unavailable("no live slaves");
+}
+
+void TxnLayer::MaybeAutoRecover() {
+  if (!replay_fn_) return;
+  {
+    std::shared_lock pool_lock(slaves_mutex_);
+    bool any_failed = false;
+    for (const auto& slave : slaves_) {
+      if (slave->failed()) {
+        any_failed = true;
+        break;
+      }
+    }
+    if (!any_failed) return;
+  }
+  // Recovery runs on the master's own session: its replay cost is not the
+  // retrying client's virtual time. A kUnavailable replay (store regions
+  // still mid-reassignment) leaves WAL state untouched; the next backoff
+  // simply tries again.
+  hbase::Session recovery_session(cluster_);
+  (void)DetectAndRecover(recovery_session, replay_fn_);
 }
 
 Status TxnLayer::DetectAndRecover(hbase::Session& s, const ReplayFn& replay) {

@@ -127,10 +127,22 @@ class TxnLayer {
   /// replacements spawned by later failovers.
   void SetFaultInjector(fault::FaultInjector* faults);
 
-  /// Client entry point: forwards to a live slave (round robin).
+  /// Client entry point: forwards to a live slave (round robin). When the
+  /// session carries a RetryPolicy, root-level retries run *here* — one
+  /// controller owning one deadline per submitted write — while RPC retries
+  /// inside the slave's write body are suppressed (a kUnavailable there must
+  /// surface as a slave crash, and nesting both loops would stack their
+  /// budgets unboundedly). Between attempts, if a replay fn is registered
+  /// (SetReplayFn), the master auto-recovers failed slaves so a drained pool
+  /// heals instead of failing every retry with "no live slaves".
   StatusOr<int64_t> SubmitWrite(hbase::Session& s, const std::string& payload,
                                 const std::optional<LockSpec>& lock,
                                 const WriteBody& body);
+
+  /// Registers the WAL replay function used for *automatic* recovery from
+  /// inside SubmitWrite's retry loop (the explicit DetectAndRecover API is
+  /// unchanged). Call before concurrent traffic; not synchronized.
+  void SetReplayFn(ReplayFn replay) { replay_fn_ = std::move(replay); }
 
   SlaveNode* slave(int i) {
     std::shared_lock lock(slaves_mutex_);
@@ -148,9 +160,19 @@ class TxnLayer {
   Status DetectAndRecover(hbase::Session& s, const ReplayFn& replay);
 
  private:
+  StatusOr<int64_t> SubmitWriteOnce(hbase::Session& s,
+                                    const std::string& payload,
+                                    const std::optional<LockSpec>& lock,
+                                    const WriteBody& body);
+  /// Runs DetectAndRecover with an internal session iff any slave failed
+  /// and a replay fn is registered. Replay refusals (store unreachable
+  /// mid-failover) are left for a later attempt.
+  void MaybeAutoRecover();
+
   hbase::Cluster* cluster_;
   LockManager* locks_;
   fault::FaultInjector* faults_ = nullptr;
+  ReplayFn replay_fn_;
   // Guards the pool: SubmitWrite routes under a shared lock (held across the
   // write so a slave is never destroyed under an in-flight client);
   // DetectAndRecover swaps failed slaves under an exclusive lock, i.e. after

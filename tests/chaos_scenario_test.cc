@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -128,7 +129,21 @@ class ChaosScenarioTest : public ::testing::Test {
 
   Status Write(const std::string& sql, std::vector<Value> params) {
     hbase::Session s(&cluster_);
+    if (storm_policy_.has_value()) s.SetRetryPolicy(*storm_policy_);
     return WriteOn(s, sql, std::move(params));
+  }
+
+  /// Workload read on a fresh session (dirty-read detection is on for
+  /// SynergySystem reads, so kDirtyReadRestart faults land here).
+  Status Read(const std::string& workload_id, std::vector<Value> params) {
+    const sql::WorkloadStatement* stmt =
+        system_->workload().Find(workload_id);
+    if (stmt == nullptr) return Status::NotFound(workload_id);
+    hbase::Session s(&cluster_);
+    if (storm_policy_.has_value()) s.SetRetryPolicy(*storm_policy_);
+    return system_
+        ->ExecuteRead(s, std::get<sql::SelectStatement>(stmt->ast), params)
+        .status();
   }
 
   /// Thread-safe write: parses into a stack-local statement and executes on
@@ -203,11 +218,32 @@ class ChaosScenarioTest : public ::testing::Test {
     }
   }
 
+  /// Pumps heartbeat rounds until every region sits on a live server (dead
+  /// servers' regions reassigned, crashed stores replayed). No-op when the
+  /// cluster is healthy; bounded so a stuck failover fails the audit below
+  /// instead of hanging the test.
+  void DrainFailover() {
+    for (int i = 0; i < 256; ++i) {
+      bool all_live = true;
+      for (const hbase::Region* region : cluster_.AllRegions()) {
+        if (cluster_.failover().state(region->server_id()) !=
+            hbase::ServerState::kLive) {
+          all_live = false;
+          break;
+        }
+      }
+      if (all_live) return;
+      cluster_.failover().PumpVirtualTime(
+          64 * cluster_.failover().config().us_per_tick);
+    }
+  }
+
   /// Disarms all faults, runs master failover + WAL replay, then audits
   /// every view against its defining base join and checks that writes make
   /// progress again (no orphaned locks, live slaves).
   void RecoverAndAudit() {
     faults_->DisarmAll();
+    DrainFailover();
     hbase::Session s(&cluster_);
     ASSERT_TRUE(system_->txn_layer()
                     ->DetectAndRecover(
@@ -258,6 +294,9 @@ class ChaosScenarioTest : public ::testing::Test {
   std::unique_ptr<Rng> rng_;
   uint64_t seed_ = 0;
   int rounds_ = 1;
+  /// When set, every storm session carries this retry policy (failover
+  /// scenarios: clients are expected to ride out the outage).
+  std::optional<hbase::RetryPolicy> storm_policy_;
 };
 
 // --- Scenario 1: slave dies holding the root lock, before the body runs.
@@ -368,6 +407,102 @@ TEST_F(ChaosScenarioTest, MultiClientDropLockReleaseStorm) {
     rule.probability = 0.05;
     faults_->AddRule(rule);
     ConcurrentStorm(/*clients=*/3, /*ops_per_client=*/20);
+    RecoverAndAudit();
+  }
+}
+
+// --- Scenario 13: a region server crashes (store wiped) in the middle of
+// the write storm. Clients carry a retry policy, so the outage must be
+// absorbed: failure detection, lease expiry, region reassignment and WAL
+// replay all run inside the clients' backoffs, and the audit proves no
+// acknowledged write was lost.
+TEST_F(ChaosScenarioTest, RegionServerCrashFailoverStorm) {
+  InstallInjector(113);
+  // Faster detection so one storm's RPC stream spans the whole failover.
+  hbase::FailoverConfig fo;
+  fo.heartbeat_every_rpcs = 8;
+  fo.lease_missed_rounds = 2;
+  cluster_.ConfigureFailover(fo);
+  storm_policy_ = hbase::RetryPolicy{};
+  for (int round = 0; round < rounds_; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    faults_->AddRule({.point = FaultPoint::kRegionServerCrash,
+                      .probability = 1.0,
+                      .skip_hits = round,
+                      .max_fires = 1,
+                      .table_prefix = "",
+                      .server_id = round % 2 == 0 ? 1 : 2});
+    Storm(40);
+    RecoverAndAudit();
+  }
+}
+
+// --- Scenario 14: heartbeat loss (server alive but silent). The lease
+// expires, regions move *without* replay (store intact), and reads in the
+// window are served degraded rather than failing.
+TEST_F(ChaosScenarioTest, HeartbeatLossFencingStorm) {
+  InstallInjector(114);
+  hbase::FailoverConfig fo;
+  fo.heartbeat_every_rpcs = 8;
+  fo.lease_missed_rounds = 2;
+  cluster_.ConfigureFailover(fo);
+  storm_policy_ = hbase::RetryPolicy{};
+  for (int round = 0; round < rounds_; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    fault::FaultRule rule;
+    rule.point = FaultPoint::kHeartbeatLoss;
+    rule.probability = 0.5;  // each live server misses ~half its beats
+    faults_->AddRule(rule);
+    Storm(40);
+    RecoverAndAudit();
+    EXPECT_EQ(cluster_.failover().stats().crashes, 0)
+        << "heartbeat loss must fence, not crash\n" << ReplayHint();
+  }
+}
+
+// --- Scenario 15: RPCs time out in flight (request never reached the
+// region). Without retries a mid-body timeout kills the slave; with the
+// storm policy the root-level SubmitWrite retry must absorb it, auto-
+// recovering drained slaves between attempts.
+TEST_F(ChaosScenarioTest, RpcTimeoutStorm) {
+  storm_policy_ = hbase::RetryPolicy{};
+  fault::FaultRule rule;
+  rule.point = FaultPoint::kRpcTimeout;
+  rule.probability = 0.03;
+  RunProbabilisticScenario(rule, 115);
+}
+
+// --- Scenario 16: dirty-read restarts forced mid-failover: reads hit the
+// MVCC restart loop (as if a concurrent root txn marked their rows) while a
+// region server is down, so restarted scans also ride the retry path.
+TEST_F(ChaosScenarioTest, DirtyReadRestartMidFailover) {
+  InstallInjector(116);
+  hbase::FailoverConfig fo;
+  fo.heartbeat_every_rpcs = 8;
+  fo.lease_missed_rounds = 2;
+  cluster_.ConfigureFailover(fo);
+  storm_policy_ = hbase::RetryPolicy{};
+  for (int round = 0; round < rounds_; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    faults_->AddRule({.point = FaultPoint::kRegionServerCrash,
+                      .probability = 1.0,
+                      .skip_hits = round,
+                      .max_fires = 1,
+                      .table_prefix = "",
+                      .server_id = 1});
+    fault::FaultRule restart;
+    restart.point = FaultPoint::kDirtyReadRestart;
+    restart.probability = 0.2;
+    faults_->AddRule(restart);
+    for (int op = 0; op < 20; ++op) {
+      // Interleave the hot-row writes with workload joins; the restart
+      // fault only has teeth on the read path (detect_dirty scans).
+      Storm(2);
+      const Status read =
+          Read("W2", {Value(static_cast<int>(rng_->Uniform(1, 2)))});
+      ASSERT_TRUE(read.ok() || TolerableStormError(read))
+          << read << "\n" << ReplayHint();
+    }
     RecoverAndAudit();
   }
 }

@@ -22,8 +22,8 @@ TEST(SessionDriverTest, AggregatesAcrossThreads) {
   WorkloadReport report = RunClosedLoop(cfg, [](int tid, uint64_t) {
     // Thread t charges (t+1)*100 µs per op: the run's virtual duration is
     // the slowest thread's busy time.
-    return [tid](size_t) -> StatusOr<double> {
-      return (tid + 1) * 100.0;
+    return [tid](size_t) -> StatusOr<OpOutcome> {
+      return OpOutcome((tid + 1) * 100.0);
     };
   });
   EXPECT_EQ(report.threads, 4);
@@ -52,11 +52,11 @@ TEST(SessionDriverTest, SeedsArePerThreadAndDeterministic) {
         seeds[tid] = seed;
       }
       auto rng = std::make_shared<Rng>(seed);
-      return [&, tid, rng](size_t) -> StatusOr<double> {
+      return [&, tid, rng](size_t) -> StatusOr<OpOutcome> {
         const uint64_t draw = rng->Next();
         std::lock_guard lock(mu);
         draws[tid].push_back(draw);
-        return 1.0;
+        return OpOutcome(1.0);
       };
     });
     return std::make_pair(seeds, draws);
@@ -76,15 +76,36 @@ TEST(SessionDriverTest, ErrorsAreCountedNotFatal) {
   cfg.threads = 2;
   cfg.ops_per_thread = 30;
   WorkloadReport report = RunClosedLoop(cfg, [](int, uint64_t) {
-    return [](size_t i) -> StatusOr<double> {
+    return [](size_t i) -> StatusOr<OpOutcome> {
       if (i % 3 == 2) return Status::Aborted("every third op");
-      return 5.0;
+      return OpOutcome(5.0);
     };
   });
   EXPECT_EQ(report.total_ops, 40U);
   EXPECT_EQ(report.total_errors, 20U);
   EXPECT_FALSE(report.first_error.ok());
   EXPECT_EQ(report.first_error.code(), StatusCode::kAborted);
+}
+
+TEST(SessionDriverTest, RobustnessCountersAggregate) {
+  DriverConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 10;
+  WorkloadReport report = RunClosedLoop(cfg, [](int tid, uint64_t) {
+    return [tid](size_t i) -> StatusOr<OpOutcome> {
+      if (tid == 0 && i == 0) return Status::DeadlineExceeded("budget spent");
+      if (tid == 0 && i == 1) return Status::Aborted("conflict");
+      // Thread 1's ops each consumed one retry and a degraded read.
+      if (tid == 1) return OpOutcome(100.0, /*r=*/1, /*d=*/1);
+      return OpOutcome(100.0);
+    };
+  });
+  EXPECT_EQ(report.total_ops, 18U);
+  EXPECT_EQ(report.total_errors, 2U);
+  EXPECT_EQ(report.total_deadline_errors, 1U);
+  EXPECT_EQ(report.total_retries, 10U);
+  EXPECT_EQ(report.total_degraded_ops, 10U);
+  EXPECT_EQ(report.first_error.code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(TpcwMixTest, ReadOnlyMixDrawsOnlyReadStatements) {
@@ -101,12 +122,12 @@ TEST(TpcwMixTest, ReadOnlyMixDrawsOnlyReadStatements) {
   WorkloadReport report = RunTpcwMix(
       cfg, scale, mix,
       [&](int, const std::string& stmt_id,
-          const std::vector<Value>& params) -> StatusOr<double> {
+          const std::vector<Value>& params) -> StatusOr<OpOutcome> {
         std::lock_guard lock(mu);
         EXPECT_TRUE(allowed.count(stmt_id)) << stmt_id;
         EXPECT_FALSE(params.empty());
         seen.insert(stmt_id);
-        return 10.0;
+        return OpOutcome(10.0);
       });
   EXPECT_EQ(report.total_ops, 100U);
   EXPECT_GT(seen.size(), 1U) << "mix should draw from multiple statements";
@@ -131,10 +152,10 @@ TEST(TpcwMixTest, FreshInsertIdsNeverCollideAcrossThreads) {
   WorkloadReport report = RunTpcwMix(
       cfg, scale, mix,
       [&](int, const std::string&,
-          const std::vector<Value>& params) -> StatusOr<double> {
+          const std::vector<Value>& params) -> StatusOr<OpOutcome> {
         std::lock_guard lock(mu);
         ids.push_back(params[0].as_int());
-        return 1.0;
+        return OpOutcome(1.0);
       });
   EXPECT_EQ(report.total_ops, 800U);
   std::set<int64_t> unique(ids.begin(), ids.end());

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "testing/fault_injector.h"
+
 namespace synergy::hbase {
 namespace {
 
@@ -195,6 +199,54 @@ TEST_F(ClusterTest, AutoSplitCreatesRegions) {
     ++n;
   }
   EXPECT_EQ(n, 500u);
+}
+
+TEST_F(ClusterTest, ScannerErrorIsSurfacedViaStatus) {
+  Session s(&cluster_);
+  ASSERT_TRUE(cluster_.Put(s, "t", "r", {{"a", "1"}}).ok());
+  fault::FaultInjector faults(7);
+  faults.Arm(fault::FaultPoint::kRegionRpcFailure, /*skip_hits=*/0,
+             /*max_fires=*/1);
+  cluster_.SetFaultInjector(&faults);
+
+  auto scanner = cluster_.OpenScanner(s, "t");
+  ASSERT_TRUE(scanner.ok());
+  RowResult row;
+  EXPECT_FALSE(scanner->Next(&row)) << "failed batch must stop the scan";
+  EXPECT_EQ(scanner->status().code(), StatusCode::kUnavailable);
+  cluster_.SetFaultInjector(nullptr);
+}
+
+TEST_F(ClusterTest, ScannerDroppedWithUncheckedErrorAssertsInDebug) {
+  Session s(&cluster_);
+  ASSERT_TRUE(cluster_.Put(s, "t", "r", {{"a", "1"}}).ok());
+  fault::FaultInjector faults(7);
+  cluster_.SetFaultInjector(&faults);
+
+  // Dropping a scanner that hit an error without ever calling status() is
+  // the silent-truncation bug; debug builds die in the destructor. (In
+  // release builds the statement simply runs, per EXPECT_DEBUG_DEATH.)
+  EXPECT_DEBUG_DEATH(
+      {
+        faults.Arm(fault::FaultPoint::kRegionRpcFailure, 0, 1);
+        auto scanner = cluster_.OpenScanner(s, "t");
+        if (scanner.ok()) {
+          RowResult row;
+          scanner->Next(&row);
+        }
+      },
+      "unchecked");
+
+  // Moving a scanner transfers the checking responsibility: the moved-from
+  // shell must destruct quietly, the destination still reports the error.
+  faults.Arm(fault::FaultPoint::kRegionRpcFailure, 0, 1);
+  auto scanner = cluster_.OpenScanner(s, "t");
+  ASSERT_TRUE(scanner.ok());
+  RowResult row;
+  scanner->Next(&row);
+  Scanner moved = std::move(*scanner);
+  EXPECT_EQ(moved.status().code(), StatusCode::kUnavailable);
+  cluster_.SetFaultInjector(nullptr);
 }
 
 TEST_F(ClusterTest, MajorCompactionShrinksMultiVersionData) {
