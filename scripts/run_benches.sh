@@ -11,7 +11,10 @@
 # Besides the per-bench .txt transcripts, this appends one machine-readable
 # datapoint per invocation to bench-results/BENCH_exec_hotpath.json (rows/sec
 # for the executor hash join, aggregation, top-N and the key codec), giving
-# the repo a perf trajectory across PRs.
+# the repo a perf trajectory across PRs. bench_concurrent_tpcw and
+# bench_overload likewise append to BENCH_concurrent_tpcw.json and
+# BENCH_overload.json themselves (the overload sweep also enforces its
+# goodput/p99 acceptance gate past saturation — a regression fails the run).
 set -euo pipefail
 
 build_dir="${1:-build}"

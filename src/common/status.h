@@ -23,6 +23,11 @@ enum class StatusCode {
   kUnimplemented, // e.g. joins not expressible in VoltDB partitioning
   kInternal,
   kDeadlineExceeded, // operation deadline expired while retrying (RetryPolicy)
+  // The node reached is alive but refuses more work: admission-control
+  // rejection, a full slave work queue, or an open client circuit breaker.
+  // Distinct from kUnavailable on purpose — overload rejections must NOT be
+  // retried like node failures (retrying amplifies the overload).
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -62,6 +67,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

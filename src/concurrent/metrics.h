@@ -29,35 +29,52 @@ struct OpOutcome {
   OpOutcome(double us) : virtual_us(us) {}  // NOLINT: implicit by design
   OpOutcome(double us, size_t r, size_t d)
       : virtual_us(us), retries(r), degraded(d) {}
+  OpOutcome(double us, size_t r, size_t d, size_t scan_drops)
+      : virtual_us(us), retries(r), degraded(d),
+        scan_errors_dropped(scan_drops) {}
 
   double virtual_us = 0.0;  // simulated cost of the op
   size_t retries = 0;       // RPC/txn retries the op consumed
   size_t degraded = 0;      // reads served at bounded staleness
+  size_t scan_errors_dropped = 0;  // scanners dropped with unchecked errors
 };
 
 /// Per-worker-thread counters; exclusively owned by one thread during the
 /// run, merged after join.
 struct ThreadMetrics {
   LatencyHistogram latency_us;  // virtual µs per completed operation
+  size_t offered = 0;           // operations issued (closed) / arrived (open)
   size_t ops = 0;               // completed (successful) operations
   size_t errors = 0;            // failed operations
   size_t retries = 0;           // retries consumed by successful ops
   size_t degraded_ops = 0;      // ops that read degraded (stale-bounded) data
   size_t deadline_errors = 0;   // errors that were deadline expirations
+  size_t shed_errors = 0;       // errors that were overload rejections
+  size_t abandoned = 0;         // open loop: ops dropped by the client after
+                                // waiting out max_queue_delay_us unstarted
+  size_t scan_errors_dropped = 0;  // scanners dropped with unchecked errors
   double busy_virtual_us = 0.0; // sum of per-op virtual time on this thread
+  double span_virtual_us = 0.0; // open loop: thread clock when the run ended
+                                // (arrival horizon plus backlog drain)
   Status first_error = Status::Ok();
 };
 
 /// Aggregate view of one concurrent run.
 struct WorkloadReport {
   int threads = 0;
+  size_t total_offered = 0;
   size_t total_ops = 0;
   size_t total_errors = 0;
   size_t total_retries = 0;        // retries consumed across all threads
   size_t total_degraded_ops = 0;   // ops served from a degraded region
   size_t total_deadline_errors = 0;  // errors that were deadline expirations
+  size_t total_shed_errors = 0;      // errors that were overload rejections
+  size_t total_abandoned = 0;        // open loop: client-abandoned arrivals
+  size_t total_scan_errors_dropped = 0;  // unchecked scan errors (see Scanner)
   double wall_seconds = 0.0;
-  double virtual_seconds = 0.0;  // max over threads of busy virtual time
+  double virtual_seconds = 0.0;  // open loop: max thread span; closed loop:
+                                 // max busy virtual time
+  double offered_duration_seconds = 0.0;  // open loop: arrival horizon
   LatencyHistogram latency_us;   // merged across all threads
   Status first_error = Status::Ok();
 
@@ -67,6 +84,16 @@ struct WorkloadReport {
                ? static_cast<double>(total_ops) / virtual_seconds
                : 0.0;
   }
+  /// Open loop: arrival rate actually generated over the horizon.
+  double offered_rate() const {
+    return offered_duration_seconds > 0.0
+               ? static_cast<double>(total_offered) / offered_duration_seconds
+               : 0.0;
+  }
+  /// Successfully completed ops per simulated second — under overload this
+  /// plateaus (graceful degradation) or collapses (retry storms), which is
+  /// the curve bench_overload plots against offered_rate().
+  double goodput() const { return virtual_throughput(); }
   /// Operations per wall second (simulator speed; secondary).
   double wall_throughput() const {
     return wall_seconds > 0.0 ? static_cast<double>(total_ops) / wall_seconds

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "common/status.h"
 #include "concurrent/metrics.h"
@@ -46,5 +47,62 @@ using SessionFactory = std::function<SessionOp(int thread_id, uint64_t seed)>;
 /// run where some writes abort still reports the throughput it achieved.
 WorkloadReport RunClosedLoop(const DriverConfig& config,
                              const SessionFactory& factory);
+
+// ---------------------------------------------------------- open loop ----
+
+/// Inter-arrival distribution of the open-loop schedule.
+enum class ArrivalDist {
+  kPoisson,  // exponential gaps (memoryless arrivals; the realistic default)
+  kUniform,  // constant gaps (isolates queueing from arrival burstiness)
+};
+
+/// Open-loop (arrival-rate) load generation. Unlike the closed loop — where
+/// a slow system implicitly throttles its own clients — arrivals here follow
+/// a fixed virtual-time schedule that does not care how the system is doing,
+/// which is how production traffic behaves and what exposes the goodput
+/// cliff past saturation.
+///
+/// Latency is accounted from the *scheduled arrival*, not from when the op
+/// actually started (queued-start accounting): an op that sat behind a
+/// backlog reports queue delay + service time. This avoids coordinated
+/// omission — a driver that only times service would silently under-report
+/// exactly when the system is slowest.
+struct OpenLoopConfig {
+  int threads = 1;
+  /// Aggregate offered arrival rate, ops per virtual second, split evenly
+  /// across threads (each thread is an independent arrival process).
+  double offered_rate_per_sec = 100.0;
+  /// Arrival horizon per thread, virtual seconds. Threads keep draining
+  /// their backlog past the horizon; the drain tail counts toward the
+  /// run's virtual duration (span).
+  double duration_virtual_sec = 10.0;
+  ArrivalDist arrival = ArrivalDist::kPoisson;
+  /// Per-thread seed = base_seed ^ thread_id, as in the closed loop.
+  uint64_t base_seed = 7;
+  /// > 0: client-side shedding — an op whose queue delay already exceeds
+  /// this is abandoned without being issued (counted, not an error). 0
+  /// disables (every arrival is executed no matter how stale).
+  double max_queue_delay_us = 0.0;
+};
+
+/// One open-loop attempt: the status plus the virtual cost consumed *even
+/// when the op failed* — failed work still occupies the client, which is
+/// exactly what makes retry storms eat goodput.
+struct OpResult {
+  OpResult(Status s, OpOutcome o) : status(std::move(s)), outcome(o) {}
+  OpResult(OpOutcome o) : outcome(o) {}  // NOLINT: implicit success
+  Status status;
+  OpOutcome outcome;
+};
+
+using OpenLoopOp = std::function<OpResult(size_t op_index)>;
+using OpenLoopFactory = std::function<OpenLoopOp(int thread_id, uint64_t seed)>;
+
+/// Runs the open-loop schedule and aggregates per-thread metrics. Reported
+/// latencies are queue delay + service time for successful ops; offered,
+/// abandoned, shed and error counts are tracked separately so goodput can
+/// be compared against the offered rate.
+WorkloadReport RunOpenLoop(const OpenLoopConfig& config,
+                           const OpenLoopFactory& factory);
 
 }  // namespace synergy::concurrent

@@ -51,4 +51,22 @@ WorkloadReport RunTpcwMix(const DriverConfig& driver,
                           const tpcw::ScaleConfig& scale,
                           const MixConfig& mix, const StatementExecFn& exec);
 
+/// Executes one bound statement for an open-loop client; the outcome's cost
+/// must be valid even on error (failed work still occupies the client).
+using OpenStatementExecFn = std::function<OpResult(
+    const std::string& stmt_id, const std::vector<Value>& params)>;
+
+/// Builds the per-thread statement executor for the open loop; runs on the
+/// worker thread, so persistent client state (a session whose retry budget
+/// and circuit breaker survive across statements) is thread-local by
+/// construction.
+using OpenExecFactory = std::function<OpenStatementExecFn(int thread_id)>;
+
+/// Runs the open-loop (arrival-rate) mix: same statement/parameter draw as
+/// the closed loop, driven by RunOpenLoop's virtual-time arrival schedule.
+WorkloadReport RunTpcwMixOpenLoop(const OpenLoopConfig& config,
+                                  const tpcw::ScaleConfig& scale,
+                                  const MixConfig& mix,
+                                  const OpenExecFactory& make_exec);
+
 }  // namespace synergy::concurrent

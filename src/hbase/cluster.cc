@@ -6,43 +6,9 @@
 
 namespace synergy::hbase {
 
-namespace {
-
-// Uniform status access for RunWithRetries over Status and StatusOr<T>.
-inline const Status& StatusOf(const Status& s) { return s; }
-template <typename T>
-inline const Status& StatusOf(const StatusOr<T>& s) {
-  return s.status();
-}
-
-}  // namespace
-
 template <typename Fn>
 auto Cluster::RunWithRetries(Session& s, Fn&& fn) -> decltype(fn()) {
-  using Result = decltype(fn());
-  if (!s.retry_policy().has_value() || s.retries_suppressed()) return fn();
-  RetryController retry(*s.retry_policy(), s.meter().micros());
-  for (;;) {
-    Result result = fn();
-    const Status& st = StatusOf(result);
-    if (st.ok()) return result;
-    const RetryController::Decision d =
-        retry.OnFailure(st, s.meter().micros());
-    if (!d.retry) {
-      if (d.final_status.code() == StatusCode::kDeadlineExceeded) {
-        s.CountDeadlineExceeded();
-        return Result(d.final_status);
-      }
-      return result;
-    }
-    s.CountRetry();
-    // The backoff is virtual wait: the client's clock advances, and so does
-    // the cluster's — heartbeat rounds keep running while we sleep, which
-    // is what lets a lone blocked client ride out failure detection plus
-    // region reassignment instead of livelocking.
-    s.meter().Charge(d.backoff_us);
-    failover_->PumpVirtualTime(d.backoff_us);
-  }
+  return RunWithRetryProtection(*this, s, std::forward<Fn>(fn), [] {});
 }
 
 Status Cluster::CreateTable(const TableDescriptor& desc,
@@ -77,6 +43,29 @@ Status Cluster::InjectAckFault(const std::string& table,
   if (faults_->ShouldFire(fault::FaultPoint::kRegionRpcAckLost, site)) {
     return faults_->InjectedFault(fault::FaultPoint::kRegionRpcAckLost);
   }
+  return Status::Ok();
+}
+
+Status Cluster::AdmitOp(Session& s, const std::string& table,
+                        const Region* region, AdmissionSlot* slot) {
+  if (admission_ == nullptr) return Status::Ok();
+  const int server = region->server_id();
+  // The overload-burst fault slams this server with phantom load *before*
+  // the admission decision, so the triggering op already feels the burst.
+  if (faults_ != nullptr &&
+      faults_->ShouldFire(fault::FaultPoint::kOverloadBurst,
+                          fault::FaultSite{table, server})) {
+    admission_->InjectBurst(server, admission_->config().burst_ops);
+  }
+  AdmissionDecision d = admission_->Admit(server, s.OpDeadlineRemaining());
+  SYNERGY_RETURN_IF_ERROR(d.status);
+  if (d.queue_wait_us > 0.0) {
+    // Queueing delay is modeled time like any other cost, and it advances
+    // failure detection the same way retry backoffs do.
+    s.meter().Charge(d.queue_wait_us);
+    failover_->PumpVirtualTime(d.queue_wait_us);
+  }
+  *slot = AdmissionSlot(admission_.get(), server);
   return Status::Ok();
 }
 
@@ -126,6 +115,8 @@ Status Cluster::PutOnce(
   Region* region = t->RouteKey(row_key);
   const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
   SYNERGY_RETURN_IF_ERROR(access.status);
+  AdmissionSlot slot;
+  SYNERGY_RETURN_IF_ERROR(AdmitOp(s, table, region, &slot));
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   region->Put(row_key, columns, ts);
   return InjectAckFault(table, region);
@@ -145,6 +136,8 @@ StatusOr<RowResult> Cluster::GetOnce(Session& s, const std::string& table,
       failover_->CheckAccess(region, /*is_write=*/false);
   SYNERGY_RETURN_IF_ERROR(access.status);
   if (access.degraded) s.CountDegradedRead();
+  AdmissionSlot slot;
+  SYNERGY_RETURN_IF_ERROR(AdmitOp(s, table, region, &slot));
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   std::optional<RowResult> row = region->Get(row_key, s.read_view());
   const size_t payload = row.has_value() ? row->PayloadBytes() : 0;
@@ -170,6 +163,8 @@ Status Cluster::DeleteOnce(Session& s, const std::string& table,
   Region* region = t->RouteKey(row_key);
   const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
   SYNERGY_RETURN_IF_ERROR(access.status);
+  AdmissionSlot slot;
+  SYNERGY_RETURN_IF_ERROR(AdmitOp(s, table, region, &slot));
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   region->Delete(row_key, ts);
   return InjectAckFault(table, region);
@@ -199,6 +194,8 @@ StatusOr<bool> Cluster::CheckAndPutOnce(
   Region* region = t->RouteKey(row_key);
   const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
   SYNERGY_RETURN_IF_ERROR(access.status);
+  AdmissionSlot slot;
+  SYNERGY_RETURN_IF_ERROR(AdmitOp(s, table, region, &slot));
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   return region->CheckAndPut(row_key, qualifier, expected, new_value);
 }
@@ -222,6 +219,8 @@ StatusOr<int64_t> Cluster::IncrementOnce(Session& s, const std::string& table,
   Region* region = t->RouteKey(row_key);
   const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
   SYNERGY_RETURN_IF_ERROR(access.status);
+  AdmissionSlot slot;
+  SYNERGY_RETURN_IF_ERROR(AdmitOp(s, table, region, &slot));
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   return region->Increment(row_key, qualifier, delta);
 }
@@ -256,6 +255,8 @@ StatusOr<ScanBatchResult> Cluster::ScanBatchRpcOnce(Session& s,
       failover_->CheckAccess(region, /*is_write=*/false);
   SYNERGY_RETURN_IF_ERROR(access.status);
   if (access.degraded) s.CountDegradedRead();
+  AdmissionSlot slot;
+  SYNERGY_RETURN_IF_ERROR(AdmitOp(s, table, region, &slot));
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
   ScanBatchResult batch = region->ScanBatch(from, stop, limit, s.read_view());
   // If the region was exhausted but the table continues, resume from the

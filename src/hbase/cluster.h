@@ -10,6 +10,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "hbase/admission.h"
 #include "hbase/failover.h"
 #include "hbase/retry_policy.h"
 #include "hbase/table.h"
@@ -49,11 +51,43 @@ class Session {
   /// Opt-in retries: with a policy installed, every Cluster entry point
   /// (Get/Put/Delete/CheckAndPut/Increment/scan batches) retries retryable
   /// errors with backoff charged as virtual time. Default: no retries, so
-  /// deterministic fault schedules see every error exactly once.
-  void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
-  void ClearRetryPolicy() { retry_policy_.reset(); }
+  /// deterministic fault schedules see every error exactly once. Policies
+  /// with overload-protection knobs enabled also instantiate the session's
+  /// retry budget and circuit breaker.
+  void SetRetryPolicy(const RetryPolicy& policy) {
+    retry_policy_ = policy;
+    retry_budget_ = policy.retry_budget_max > 0.0
+                        ? std::make_unique<RetryBudget>(policy)
+                        : nullptr;
+    breaker_ = policy.breaker_trip_overloads > 0
+                   ? std::make_unique<CircuitBreaker>(policy)
+                   : nullptr;
+  }
+  void ClearRetryPolicy() {
+    retry_policy_.reset();
+    retry_budget_.reset();
+    breaker_.reset();
+  }
   const std::optional<RetryPolicy>& retry_policy() const {
     return retry_policy_;
+  }
+  /// Null unless the installed policy enables the corresponding knob. Same
+  /// single-driver threading contract as SuppressRetries.
+  RetryBudget* retry_budget() { return retry_budget_.get(); }
+  CircuitBreaker* circuit_breaker() { return breaker_.get(); }
+
+  /// Absolute virtual-time deadline of the op currently in flight (0 =
+  /// none). Set by the retry loop at op start and read by the admission
+  /// controller for deadline-aware shedding — including from the slave
+  /// worker thread, which inherits it through the queue handoff (same
+  /// contract as SuppressRetries).
+  void SetOpDeadline(double abs_us) { op_deadline_us_ = abs_us; }
+  void ClearOpDeadline() { op_deadline_us_ = 0.0; }
+  double OpDeadlineRemaining() const {
+    if (op_deadline_us_ <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return op_deadline_us_ - meter_.micros();
   }
 
   /// While suppressed, entry points skip their retry loops even with a
@@ -76,6 +110,12 @@ class Session {
   void CountDeadlineExceeded() {
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
   }
+  void CountOverloadRejected() {
+    overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountScanErrorDropped() {
+    scan_errors_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
   uint64_t retries() const {
     return retries_.load(std::memory_order_relaxed);
   }
@@ -85,10 +125,18 @@ class Session {
   uint64_t deadline_exceeded() const {
     return deadline_exceeded_.load(std::memory_order_relaxed);
   }
+  uint64_t overload_rejections() const {
+    return overload_rejections_.load(std::memory_order_relaxed);
+  }
+  uint64_t scan_errors_dropped() const {
+    return scan_errors_dropped_.load(std::memory_order_relaxed);
+  }
   void ResetOpStats() {
     retries_.store(0, std::memory_order_relaxed);
     degraded_reads_.store(0, std::memory_order_relaxed);
     deadline_exceeded_.store(0, std::memory_order_relaxed);
+    overload_rejections_.store(0, std::memory_order_relaxed);
+    scan_errors_dropped_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -96,10 +144,15 @@ class Session {
   sim::CostMeter meter_;
   ReadView view_;
   std::optional<RetryPolicy> retry_policy_;
+  std::unique_ptr<RetryBudget> retry_budget_;
+  std::unique_ptr<CircuitBreaker> breaker_;
   bool retry_suppressed_ = false;
+  double op_deadline_us_ = 0.0;
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> degraded_reads_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> overload_rejections_{0};
+  std::atomic<uint64_t> scan_errors_dropped_{0};
 };
 
 /// Streaming scanner with per-batch RPC cost accounting. Obtain via
@@ -114,7 +167,9 @@ class Scanner {
   /// region fault) rather than genuine exhaustion. Every consumer must call
   /// this before dropping a scanner: destroying one that hit an error
   /// without looking is the silent-truncation bug PR 6's error channel was
-  /// built to kill, and the destructor asserts against it in debug builds.
+  /// built to kill. A drop without a check increments the session's
+  /// scan_errors_dropped counter, which the bench reports surface — visible
+  /// in release builds, unlike the debug assert it replaced.
   const Status& status() const {
     status_checked_ = true;
     return status_;
@@ -142,8 +197,9 @@ class Scanner {
     return *this;
   }
   ~Scanner() {
-    assert((status_.ok() || status_checked_) &&
-           "Scanner dropped with an unchecked error status — call status()");
+    if (!status_.ok() && !status_checked_ && session_ != nullptr) {
+      session_->CountScanErrorDropped();
+    }
   }
 
  private:
@@ -203,6 +259,18 @@ class Cluster {
     failover_ =
         std::make_unique<FailoverManager>(this, num_region_servers_, config);
   }
+
+  /// Installs per-region-server admission control (config.enabled == false
+  /// removes it). Off by default: every op is admitted and the hot path
+  /// costs one pointer check. Not thread-safe: call before concurrent
+  /// traffic, like ConfigureFailover.
+  void ConfigureAdmission(AdmissionConfig config) {
+    admission_ = config.enabled
+                     ? std::make_unique<AdmissionController>(
+                           num_region_servers_, config)
+                     : nullptr;
+  }
+  AdmissionController* admission() { return admission_.get(); }
 
   /// Stable pointers to every region of every table (failover sweeps).
   std::vector<Region*> AllRegions() const;
@@ -275,6 +343,13 @@ class Cluster {
   /// Fault hook after a mutation applied: non-OK = acknowledgement lost.
   Status InjectAckFault(const std::string& table, const Region* region);
 
+  /// Admission gate for one RPC against `region`'s server. No-op without a
+  /// configured controller. May shed (kResourceExhausted), charge a virtual
+  /// queue wait, and fire the overload-burst fault point. On OK, `slot`
+  /// holds the in-flight budget unit until the op completes.
+  Status AdmitOp(Session& s, const std::string& table, const Region* region,
+                 AdmissionSlot* slot);
+
   /// Runs `fn` (one RPC attempt returning Status or StatusOr<T>) under the
   /// session's retry policy, charging backoff as virtual time and pumping
   /// failover heartbeats through the waits.
@@ -317,11 +392,106 @@ class Cluster {
   int num_region_servers_;
   fault::FaultInjector* faults_ = nullptr;
   std::unique_ptr<FailoverManager> failover_;
+  std::unique_ptr<AdmissionController> admission_;
   std::atomic<int64_t> clock_{0};
   // Reader-writer latch on the table catalog: every DML op resolves its
   // table here, so concurrent sessions take it shared; only DDL is exclusive.
   mutable std::shared_mutex tables_mutex_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
 };
+
+namespace detail {
+
+// Uniform status access over Status and StatusOr<T> attempt results.
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+inline const Status& StatusOf(const StatusOr<T>& s) {
+  return s.status();
+}
+
+// Clears the session's op deadline on every exit path of the retry loop.
+class OpDeadlineScope {
+ public:
+  OpDeadlineScope(Session& s, double deadline_us) : session_(&s) {
+    if (deadline_us > 0.0) {
+      s.SetOpDeadline(s.meter().micros() + deadline_us);
+    }
+  }
+  ~OpDeadlineScope() { session_->ClearOpDeadline(); }
+
+ private:
+  Session* session_;
+};
+
+}  // namespace detail
+
+/// The one retry loop shared by Cluster entry points and TxnLayer root
+/// submits: runs `fn` (a single attempt returning Status or StatusOr<T>)
+/// under the session's RetryPolicy with the full overload-protection stack:
+///  - circuit breaker gate: fails fast while the breaker is open;
+///  - op deadline published on the session for deadline-aware shedding;
+///  - overload rejections (kResourceExhausted) are surfaced, never retried,
+///    and trip the breaker;
+///  - each granted retry must also clear the token-bucket retry budget;
+///  - backoffs are charged as virtual time and pump failover heartbeats,
+///    then `on_backoff` runs (TxnLayer hooks slave auto-recovery there).
+template <typename Fn, typename OnBackoff>
+auto RunWithRetryProtection(Cluster& cluster, Session& s, Fn&& fn,
+                            OnBackoff&& on_backoff) -> decltype(fn()) {
+  using Result = decltype(fn());
+  if (!s.retry_policy().has_value() || s.retries_suppressed()) return fn();
+  if (CircuitBreaker* breaker = s.circuit_breaker()) {
+    Status gate = breaker->Admit(s.meter().micros());
+    if (!gate.ok()) {
+      s.CountOverloadRejected();
+      return Result(std::move(gate));
+    }
+  }
+  const RetryPolicy& policy = *s.retry_policy();
+  RetryController retry(policy, s.meter().micros());
+  detail::OpDeadlineScope deadline_scope(s, policy.deadline_us);
+  for (;;) {
+    Result result = fn();
+    const Status& st = detail::StatusOf(result);
+    if (st.ok()) {
+      if (RetryBudget* budget = s.retry_budget()) budget->OnSuccess();
+      if (CircuitBreaker* breaker = s.circuit_breaker()) breaker->OnSuccess();
+      return result;
+    }
+    if (IsOverloaded(st)) {
+      // Overload rejections are terminal here: retrying against a saturated
+      // server amplifies the overload (the opposite of what the rejection
+      // asked for). The breaker counts the streak and eventually fails fast.
+      s.CountOverloadRejected();
+      if (CircuitBreaker* breaker = s.circuit_breaker()) {
+        breaker->OnOverload(s.meter().micros());
+      }
+      return result;
+    }
+    const RetryController::Decision d =
+        retry.OnFailure(st, s.meter().micros());
+    if (!d.retry) {
+      if (d.final_status.code() == StatusCode::kDeadlineExceeded) {
+        s.CountDeadlineExceeded();
+        return Result(d.final_status);
+      }
+      return result;
+    }
+    if (RetryBudget* budget = s.retry_budget();
+        budget != nullptr && !budget->TrySpend()) {
+      // Budget empty: the recent success rate no longer pays for retries,
+      // so surface the error instead of adding retry load to a brown-out.
+      return result;
+    }
+    s.CountRetry();
+    // The backoff is virtual wait: the client's clock advances, and so does
+    // the cluster's — heartbeat rounds keep running while we sleep, which
+    // is what lets a lone blocked client ride out failure detection plus
+    // region reassignment instead of livelocking.
+    s.meter().Charge(d.backoff_us);
+    cluster.failover().PumpVirtualTime(d.backoff_us);
+    on_backoff();
+  }
+}
 
 }  // namespace synergy::hbase

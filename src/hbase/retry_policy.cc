@@ -2,11 +2,51 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 namespace synergy::hbase {
 
 bool IsRetryable(const Status& status) {
   return status.code() == StatusCode::kUnavailable;
+}
+
+bool IsOverloaded(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted;
+}
+
+Status CircuitBreaker::Admit(double now_us) {
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return Status::Ok();
+    case State::kOpen:
+      if (now_us - opened_at_us_ >= cooldown_us_) {
+        state_ = State::kHalfOpen;  // this op is the probe
+        return Status::Ok();
+      }
+      ++fast_failures_;
+      return Status::ResourceExhausted(
+          "circuit breaker open (failing fast after " +
+          std::to_string(consecutive_) + " consecutive overload rejections)");
+  }
+  return Status::Ok();
+}
+
+void CircuitBreaker::OnSuccess() {
+  consecutive_ = 0;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::OnOverload(double now_us) {
+  ++consecutive_;
+  if (trip_threshold_ <= 0) return;
+  if (state_ == State::kHalfOpen || consecutive_ >= trip_threshold_) {
+    // A failed probe re-opens immediately; in the closed state the trip
+    // waits for the configured streak of consecutive rejections.
+    if (state_ != State::kOpen) ++trips_;
+    state_ = State::kOpen;
+    opened_at_us_ = now_us;
+  }
 }
 
 double RetryController::DeadlineRemaining(double now_us) const {

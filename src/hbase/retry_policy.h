@@ -13,6 +13,7 @@
 // fault schedules in existing tests keep their exact hit sequences.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/rng.h"
@@ -29,12 +30,31 @@ struct RetryPolicy {
   double jitter_fraction = 0.25;     // each delay *= 1 ± U(0,jitter_fraction)
   double deadline_us = 10000000;     // per-operation budget; <= 0 disables
   uint64_t jitter_seed = 0xC0FFEE;   // seeds the jitter stream (deterministic)
+
+  // ---- Overload protection (all opt-in; 0 disables) ----
+  // Token-bucket retry budget: each granted retry spends one token, each
+  // successful op refills `retry_budget_refill` tokens (capped at the max).
+  // Bounds retry traffic to a fraction of fresh traffic, so a brown-out
+  // cannot be amplified into a retry storm. 0 = unlimited retries.
+  double retry_budget_max = 0.0;
+  double retry_budget_refill = 0.1;
+  // Circuit breaker: after this many *consecutive* overload rejections
+  // (kResourceExhausted) the session fails fast without issuing RPCs, then
+  // half-opens after `breaker_cooldown_us` of virtual time to let one probe
+  // through. 0 = no breaker.
+  int breaker_trip_overloads = 0;
+  double breaker_cooldown_us = 500000.0;
 };
 
 /// True for errors the policy may retry: kUnavailable (lost RPC, timeout,
 /// dead server, region mid-move, crashed slave). kDeadlineExceeded itself is
-/// terminal, as is every application-level code.
+/// terminal, as is every application-level code — including
+/// kResourceExhausted: retrying an overloaded server amplifies the overload.
 bool IsRetryable(const Status& status);
+
+/// True for overload rejections (admission shed, full slave queue, open
+/// circuit breaker). Never retried; trips the session's circuit breaker.
+bool IsOverloaded(const Status& status);
 
 /// Per-operation retry state: owns the jitter RNG and the deadline anchor.
 /// Usage:
@@ -80,6 +100,73 @@ class RetryController {
   double next_backoff_us_;
   int attempts_ = 0;
   Rng rng_;
+};
+
+/// Session-scoped token bucket bounding retry traffic. Not synchronized:
+/// only the thread currently driving the session touches it (the retry
+/// loops run on the client thread; slave write bodies run with retries
+/// suppressed and never reach it).
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryPolicy& policy)
+      : max_(policy.retry_budget_max),
+        refill_(policy.retry_budget_refill),
+        tokens_(policy.retry_budget_max) {}
+
+  /// Spend one token for a retry; false when the bucket is empty (the
+  /// caller must surface the error instead of retrying).
+  bool TrySpend() {
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Each success earns back a fraction of a token.
+  void OnSuccess() { tokens_ = std::min(max_, tokens_ + refill_); }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double max_;
+  double refill_;
+  double tokens_;
+};
+
+/// Session-scoped circuit breaker over overload rejections. Closed: ops flow
+/// normally. Open: ops fail fast with kResourceExhausted, without touching
+/// the cluster, until `breaker_cooldown_us` of virtual time has passed.
+/// Half-open: one probe op is let through; success closes the breaker,
+/// another overload re-opens it. Same single-driver threading contract as
+/// RetryBudget.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const RetryPolicy& policy)
+      : trip_threshold_(policy.breaker_trip_overloads),
+        cooldown_us_(policy.breaker_cooldown_us) {}
+
+  /// Gate before the first attempt of an op. OK while closed (or when the
+  /// cooldown elapsed — the op becomes the half-open probe); fails fast with
+  /// kResourceExhausted while open.
+  Status Admit(double now_us);
+
+  void OnSuccess();
+  void OnOverload(double now_us);
+
+  State state() const { return state_; }
+  int consecutive_overloads() const { return consecutive_; }
+  int64_t trips() const { return trips_; }
+  int64_t fast_failures() const { return fast_failures_; }
+
+ private:
+  int trip_threshold_;
+  double cooldown_us_;
+  State state_ = State::kClosed;
+  int consecutive_ = 0;
+  double opened_at_us_ = 0.0;
+  int64_t trips_ = 0;
+  int64_t fast_failures_ = 0;
 };
 
 }  // namespace synergy::hbase

@@ -19,6 +19,16 @@ struct StatementResult {
   bool supported = true;  // false: join not expressible (VoltDB)
   size_t retries = 0;     // RPC/txn retries the statement consumed
   size_t degraded = 0;    // reads served from a degraded (failed-over) region
+  size_t scan_errors_dropped = 0;  // scanners dropped with unchecked errors
+};
+
+/// One statement execution with the cost-even-on-error semantics open-loop
+/// accounting needs: `result` (virtual time spent, robustness counters) is
+/// valid whether or not `status` is OK, because a failed statement still
+/// occupied the client while it failed.
+struct StatementOutcome {
+  Status status;
+  StatementResult result;
 };
 
 class EvaluatedSystem {
@@ -49,6 +59,26 @@ class EvaluatedSystem {
   /// a no-op: systems without a retrying client path just run un-retried,
   /// which is also the correct behaviour for deterministic fault tests.
   virtual void SetRetryPolicy(const hbase::RetryPolicy&) {}
+
+  /// Opaque persistent per-client state for open-loop runs: a live session
+  /// whose retry budget and circuit breaker survive across statements (a
+  /// breaker that resets every statement could never trip).
+  class Client {
+   public:
+    virtual ~Client() = default;
+  };
+
+  /// Creates a persistent client, or nullptr when the system has none
+  /// (ExecuteOpen then falls back to per-statement Execute).
+  virtual std::unique_ptr<Client> MakeClient() { return nullptr; }
+
+  /// Executes one statement for an open-loop client. Unlike Execute, the
+  /// returned outcome carries the virtual cost even when the statement
+  /// failed. The default adapts Execute (with zero cost on error — systems
+  /// without a persistent client cannot recover the partial cost).
+  virtual StatementOutcome ExecuteOpen(Client* client,
+                                       const std::string& stmt_id,
+                                       const std::vector<Value>& params);
 };
 
 enum class SystemKind { kVoltDb, kSynergy, kMvccA, kMvccUA, kBaseline };

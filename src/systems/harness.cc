@@ -53,7 +53,37 @@ concurrent::WorkloadReport MeasureConcurrent(EvaluatedSystem& system,
         }
         // Cost is reported in virtual µs, alongside robustness counters.
         return concurrent::OpOutcome(r.virtual_ms * 1000.0, r.retries,
-                                     r.degraded);
+                                     r.degraded, r.scan_errors_dropped);
+      });
+}
+
+concurrent::WorkloadReport MeasureOpenLoop(EvaluatedSystem& system,
+                                           const tpcw::ScaleConfig& scale,
+                                           const concurrent::MixConfig& mix,
+                                           const concurrent::OpenLoopConfig&
+                                               config) {
+  return concurrent::RunTpcwMixOpenLoop(
+      config, scale, mix,
+      [&system](int) -> concurrent::OpenStatementExecFn {
+        // One persistent client per worker thread, created on that thread.
+        auto client = std::shared_ptr<EvaluatedSystem::Client>(
+            system.MakeClient());
+        return [&system, client](const std::string& stmt_id,
+                                 const std::vector<Value>& params)
+            -> concurrent::OpResult {
+          StatementOutcome out =
+              system.ExecuteOpen(client.get(), stmt_id, params);
+          const StatementResult& r = out.result;
+          concurrent::OpOutcome outcome(r.virtual_ms * 1000.0, r.retries,
+                                        r.degraded, r.scan_errors_dropped);
+          if (out.status.ok() && !r.supported) {
+            return concurrent::OpResult(
+                Status::Unimplemented("statement " + stmt_id +
+                                      " unsupported by " + system.name()),
+                outcome);
+          }
+          return concurrent::OpResult(out.status, outcome);
+        };
       });
 }
 

@@ -38,6 +38,16 @@ concurrent::WorkloadReport MeasureConcurrent(EvaluatedSystem& system,
                                              size_t ops_per_thread,
                                              uint64_t base_seed = 7);
 
+/// Runs `mix` through the open-loop (offered-rate) driver. Each worker
+/// thread gets one persistent client from system.MakeClient(), so retry
+/// budgets and circuit breakers accumulate state across statements; systems
+/// without persistent clients fall back to per-statement Execute.
+concurrent::WorkloadReport MeasureOpenLoop(EvaluatedSystem& system,
+                                           const tpcw::ScaleConfig& scale,
+                                           const concurrent::MixConfig& mix,
+                                           const concurrent::OpenLoopConfig&
+                                               config);
+
 /// "123.4" / "1.2e+04"-style compact ms formatting for table cells.
 std::string FormatMs(double ms);
 

@@ -156,17 +156,16 @@ Status MvccSystem::ExecuteWriteBody(hbase::Session& s,
   return Status::Internal("bad write kind");
 }
 
-StatusOr<StatementResult> MvccSystem::Execute(
-    const std::string& stmt_id, const std::vector<Value>& params) {
+Status MvccSystem::RunStatement(hbase::Session& s, const std::string& stmt_id,
+                                const std::vector<Value>& params,
+                                size_t* rows) {
   const sql::WorkloadStatement* stmt = workload_.Find(stmt_id);
   if (stmt == nullptr) return Status::NotFound("statement " + stmt_id);
-  hbase::Session s(cluster_.get());
   // Every statement runs as a Tephra-style transaction: start + commit
   // round trips plus per-row snapshot filtering on reads. Write versions
   // are tagged by the store's logical clock; the transaction's write set
   // drives conflict detection (single-client benches never conflict).
   SYNERGY_ASSIGN_OR_RETURN(txn, mvcc_->Start(s));
-  StatementResult result;
   if (const auto* sel = std::get_if<sql::SelectStatement>(&stmt->ast)) {
     hbase::ReadView view;
     view.read_ts = INT64_MAX;  // reads observe the loaded, committed state
@@ -180,7 +179,7 @@ StatusOr<StatementResult> MvccSystem::Execute(
       (void)mvcc_->Abort(s, txn);
       return query.status();
     }
-    result.rows = query->row_count;
+    *rows = query->row_count;
   } else {
     const sql::Statement bound = sql::BindParams(stmt->ast, params);
     SYNERGY_ASSIGN_OR_RETURN(write,
@@ -191,11 +190,67 @@ StatusOr<StatementResult> MvccSystem::Execute(
       (void)mvcc_->Abort(s, txn);
       return body;
     }
-    result.rows = 1;
+    *rows = 1;
   }
-  SYNERGY_RETURN_IF_ERROR(mvcc_->Commit(s, txn));
+  return mvcc_->Commit(s, txn);
+}
+
+StatusOr<StatementResult> MvccSystem::Execute(
+    const std::string& stmt_id, const std::vector<Value>& params) {
+  hbase::Session s(cluster_.get());
+  if (retry_policy_.has_value()) s.SetRetryPolicy(*retry_policy_);
+  StatementResult result;
+  SYNERGY_RETURN_IF_ERROR(RunStatement(s, stmt_id, params, &result.rows));
   result.virtual_ms = s.meter().millis();
+  result.retries = s.retries();
+  result.degraded = s.degraded_reads();
+  result.scan_errors_dropped = s.scan_errors_dropped();
   return result;
+}
+
+namespace {
+
+/// Persistent open-loop client (mirrors SynergyClient): one Session whose
+/// counters only grow; per-statement figures are snapshot deltas.
+struct MvccClient : public EvaluatedSystem::Client {
+  explicit MvccClient(hbase::Cluster* cluster) : session(cluster) {}
+  hbase::Session session;
+  double last_ms = 0.0;
+  uint64_t last_retries = 0;
+  uint64_t last_degraded = 0;
+  uint64_t last_scan_drops = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<EvaluatedSystem::Client> MvccSystem::MakeClient() {
+  auto client = std::make_unique<MvccClient>(cluster_.get());
+  if (retry_policy_.has_value()) {
+    client->session.SetRetryPolicy(*retry_policy_);
+  }
+  return client;
+}
+
+StatementOutcome MvccSystem::ExecuteOpen(Client* client,
+                                         const std::string& stmt_id,
+                                         const std::vector<Value>& params) {
+  if (client == nullptr) {
+    return EvaluatedSystem::ExecuteOpen(client, stmt_id, params);
+  }
+  auto* c = static_cast<MvccClient*>(client);
+  hbase::Session& s = c->session;
+  StatementOutcome out;
+  out.status = RunStatement(s, stmt_id, params, &out.result.rows);
+  const double ms = s.meter().millis();
+  out.result.virtual_ms = ms - c->last_ms;
+  c->last_ms = ms;
+  out.result.retries = s.retries() - c->last_retries;
+  c->last_retries = s.retries();
+  out.result.degraded = s.degraded_reads() - c->last_degraded;
+  c->last_degraded = s.degraded_reads();
+  out.result.scan_errors_dropped = s.scan_errors_dropped() - c->last_scan_drops;
+  c->last_scan_drops = s.scan_errors_dropped();
+  return out;
 }
 
 double MvccSystem::DbSizeBytes() const {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "exec/executor.h"
 #include "exec/write_binding.h"
@@ -31,14 +32,33 @@ class MvccSystem : public EvaluatedSystem {
   std::string Description() const override;
   std::vector<std::string> ViewNames() const override;
 
+  /// Installed on every statement session (fresh or persistent), so the
+  /// MVCC systems see the same RPC retry / budget / breaker machinery as
+  /// Synergy in overload benches.
+  void SetRetryPolicy(const hbase::RetryPolicy& policy) override {
+    retry_policy_ = policy;
+  }
+
+  /// Open-loop clients hold a persistent Session (see SynergyWrapper):
+  /// retry-budget tokens and breaker state must survive across statements.
+  std::unique_ptr<Client> MakeClient() override;
+  StatementOutcome ExecuteOpen(Client* client, const std::string& stmt_id,
+                               const std::vector<Value>& params) override;
+
   const sql::Workload& workload() const { return workload_; }
   const sql::Catalog& catalog() const { return catalog_; }
+  hbase::Cluster* cluster() { return cluster_.get(); }
 
  private:
   Status ExecuteWriteBody(hbase::Session& s, const exec::BoundWrite& write);
+  /// Statement body shared by Execute and ExecuteOpen: one Tephra-style
+  /// transaction (start, read-or-write, commit/abort) charged to `s`.
+  Status RunStatement(hbase::Session& s, const std::string& stmt_id,
+                      const std::vector<Value>& params, size_t* rows);
 
   std::string name_;
   ViewMode mode_;
+  std::optional<hbase::RetryPolicy> retry_policy_;
   sql::Catalog catalog_;
   sql::Workload workload_;
   std::unique_ptr<hbase::Cluster> cluster_;

@@ -32,26 +32,82 @@ Status SynergyWrapper::Setup(const tpcw::ScaleConfig& scale) {
   return Status::Ok();
 }
 
-StatusOr<StatementResult> SynergyWrapper::Execute(
-    const std::string& stmt_id, const std::vector<Value>& params) {
+Status SynergyWrapper::RunStatement(hbase::Session& s,
+                                    const std::string& stmt_id,
+                                    const std::vector<Value>& params,
+                                    size_t* rows) {
   const sql::WorkloadStatement* stmt = system_->workload().Find(stmt_id);
   if (stmt == nullptr) return Status::NotFound("statement " + stmt_id);
-  hbase::Session s(cluster_.get());
-  if (retry_policy_.has_value()) s.SetRetryPolicy(*retry_policy_);
-  StatementResult result;
   if (const auto* sel = std::get_if<sql::SelectStatement>(&stmt->ast)) {
     SYNERGY_ASSIGN_OR_RETURN(
         query, system_->ExecuteRead(s, *sel, params, /*collect_rows=*/false));
-    result.rows = query.row_count;
+    *rows = query.row_count;
   } else {
     SYNERGY_ASSIGN_OR_RETURN(write,
                              system_->ExecuteWrite(s, stmt->ast, params));
-    result.rows = write.base_rows_affected;
+    *rows = write.base_rows_affected;
   }
+  return Status::Ok();
+}
+
+StatusOr<StatementResult> SynergyWrapper::Execute(
+    const std::string& stmt_id, const std::vector<Value>& params) {
+  hbase::Session s(cluster_.get());
+  if (retry_policy_.has_value()) s.SetRetryPolicy(*retry_policy_);
+  StatementResult result;
+  SYNERGY_RETURN_IF_ERROR(RunStatement(s, stmt_id, params, &result.rows));
   result.virtual_ms = s.meter().millis();
   result.retries = s.retries();
   result.degraded = s.degraded_reads();
+  result.scan_errors_dropped = s.scan_errors_dropped();
   return result;
+}
+
+namespace {
+
+/// Persistent open-loop client: one Session for the client's lifetime, so
+/// retry-budget tokens and breaker state carry across statements. The
+/// session's counters and meter only ever grow; per-statement figures are
+/// deltas against the previous statement's snapshot.
+struct SynergyClient : public EvaluatedSystem::Client {
+  explicit SynergyClient(hbase::Cluster* cluster) : session(cluster) {}
+  hbase::Session session;
+  double last_ms = 0.0;
+  uint64_t last_retries = 0;
+  uint64_t last_degraded = 0;
+  uint64_t last_scan_drops = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<EvaluatedSystem::Client> SynergyWrapper::MakeClient() {
+  auto client = std::make_unique<SynergyClient>(cluster_.get());
+  if (retry_policy_.has_value()) {
+    client->session.SetRetryPolicy(*retry_policy_);
+  }
+  return client;
+}
+
+StatementOutcome SynergyWrapper::ExecuteOpen(Client* client,
+                                             const std::string& stmt_id,
+                                             const std::vector<Value>& params) {
+  if (client == nullptr) {
+    return EvaluatedSystem::ExecuteOpen(client, stmt_id, params);
+  }
+  auto* c = static_cast<SynergyClient*>(client);
+  hbase::Session& s = c->session;
+  StatementOutcome out;
+  out.status = RunStatement(s, stmt_id, params, &out.result.rows);
+  const double ms = s.meter().millis();
+  out.result.virtual_ms = ms - c->last_ms;
+  c->last_ms = ms;
+  out.result.retries = s.retries() - c->last_retries;
+  c->last_retries = s.retries();
+  out.result.degraded = s.degraded_reads() - c->last_degraded;
+  c->last_degraded = s.degraded_reads();
+  out.result.scan_errors_dropped = s.scan_errors_dropped() - c->last_scan_drops;
+  c->last_scan_drops = s.scan_errors_dropped();
+  return out;
 }
 
 double SynergyWrapper::DbSizeBytes() const {

@@ -38,10 +38,21 @@ class SynergyWrapper : public EvaluatedSystem {
     retry_policy_ = policy;
   }
 
+  /// Open-loop clients hold a persistent Session, so the policy's retry
+  /// budget and circuit breaker accumulate state across statements.
+  std::unique_ptr<Client> MakeClient() override;
+  StatementOutcome ExecuteOpen(Client* client, const std::string& stmt_id,
+                               const std::vector<Value>& params) override;
+
   core::SynergySystem* system() { return system_.get(); }
   hbase::Cluster* cluster() { return cluster_.get(); }
 
  private:
+  /// Statement body shared by Execute (fresh session) and ExecuteOpen
+  /// (persistent session): costs/counters accrue on `s` either way.
+  Status RunStatement(hbase::Session& s, const std::string& stmt_id,
+                      const std::vector<Value>& params, size_t* rows);
+
   std::string name_;
   std::vector<std::string> roots_;
   int txn_slaves_ = 1;

@@ -11,7 +11,7 @@ constexpr const char* kNames[kNumFaultPoints] = {
     "crash-after-wal-append", "crash-before-execute", "drop-lock-release",
     "region-rpc-failure",     "region-rpc-ack-lost",  "wal-append-failure",
     "server-crash",           "heartbeat-loss",       "rpc-timeout",
-    "dirty-read-restart",
+    "dirty-read-restart",     "overload-burst",
 };
 
 constexpr char kInjectedPrefix[] = "injected fault: ";

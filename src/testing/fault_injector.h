@@ -67,9 +67,18 @@ enum class FaultPoint : int {
   /// as dirty, aborting the statement so the executor's restart loop runs.
   /// Surfaces as kAborted (not kUnavailable) — the only point that does.
   kDirtyReadRestart,
+  /// A burst of synthetic load slams the serving region server: the
+  /// admission controller is told to account `burst_ops` phantom in-flight
+  /// operations against it, which drain one per completed real op (or per
+  /// shed decision, so oversized bursts clear instead of wedging the
+  /// server). Real traffic behind the burst queues or is shed
+  /// (kResourceExhausted) until the burst drains. Only has an effect when
+  /// admission control is enabled; the burst lands before the triggering
+  /// RPC's own admission decision, so that op already feels it.
+  kOverloadBurst,
 };
 
-inline constexpr int kNumFaultPoints = 10;
+inline constexpr int kNumFaultPoints = 11;
 
 /// Stable, kebab-case name used in schedules, logs and docs.
 const char* FaultPointName(FaultPoint point);

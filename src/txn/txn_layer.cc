@@ -1,5 +1,7 @@
 #include "txn/txn_layer.h"
 
+#include <chrono>
+
 #include "testing/fault_injector.h"
 
 namespace synergy::txn {
@@ -54,9 +56,25 @@ StatusOr<int64_t> SlaveNode::ProcessWrite(hbase::Session& s,
   std::future<StatusOr<int64_t>> done;
   {
     std::unique_lock qlock(queue_mutex_);
-    queue_not_full_.wait(
-        qlock, [this] { return stopping_ || queue_.size() < kQueueCapacity; });
+    // Bounded wait: a queue that stays full (saturated worker, or a worker
+    // wedged mid-body) must reject with backpressure, not block the
+    // producer forever — the client's retry/deadline machinery can only act
+    // on an error it actually receives.
+    const bool has_room = queue_not_full_.wait_for(
+        qlock, std::chrono::milliseconds(enqueue_wait_ms_.load()), [this] {
+          return stopping_ || failed_.load() ||
+                 queue_.size() < kQueueCapacity;
+        });
     if (stopping_) return Status::Unavailable("slave shut down");
+    if (failed_.load()) {
+      // Crashed slave: retryable, so the root loop routes to a live slave
+      // (or waits out recovery) instead of queueing work nobody will run.
+      return Status::Unavailable("slave " + std::to_string(id_) + " is down");
+    }
+    if (!has_room) {
+      return Status::ResourceExhausted("slave " + std::to_string(id_) +
+                                       " work queue full (overloaded)");
+    }
     WriteTask task{&s, &payload, &lock, &body, {}};
     done = task.done.get_future();
     queue_.push_back(std::move(task));
@@ -67,6 +85,9 @@ StatusOr<int64_t> SlaveNode::ProcessWrite(hbase::Session& s,
 
 Status SlaveNode::Crash(const std::string& reason) {
   failed_.store(true);
+  // Wake producers waiting for queue room: the slave is dead, they should
+  // take the kUnavailable exit instead of sitting out the bounded wait.
+  queue_not_full_.notify_all();
   return Status::Unavailable("slave " + std::to_string(id_) +
                              " crashed: " + reason);
 }
@@ -175,30 +196,13 @@ StatusOr<int64_t> TxnLayer::SubmitWrite(hbase::Session& s,
                                         const std::string& payload,
                                         const std::optional<LockSpec>& lock,
                                         const WriteBody& body) {
-  if (!s.retry_policy().has_value() || s.retries_suppressed()) {
-    return SubmitWriteOnce(s, payload, lock, body);
-  }
-  hbase::RetryController retry(*s.retry_policy(), s.meter().micros());
-  for (;;) {
-    StatusOr<int64_t> result = SubmitWriteOnce(s, payload, lock, body);
-    if (result.ok()) return result;
-    const hbase::RetryController::Decision d =
-        retry.OnFailure(result.status(), s.meter().micros());
-    if (!d.retry) {
-      if (d.final_status.code() == StatusCode::kDeadlineExceeded) {
-        s.CountDeadlineExceeded();
-        return d.final_status;
-      }
-      return result;
-    }
-    s.CountRetry();
-    s.meter().Charge(d.backoff_us);
-    // The backoff also advances the cluster's heartbeat time: region
-    // failover makes progress while this client waits, instead of the two
-    // subsystems deadlocking on each other's inactivity.
-    cluster_->failover().PumpVirtualTime(d.backoff_us);
-    MaybeAutoRecover();
-  }
+  // Same protected loop as the Cluster entry points (breaker gate, retry
+  // budget, overload rejections surfaced unretried); between backoffs the
+  // master auto-recovers failed slaves so a drained pool heals instead of
+  // failing every retry with "no live slaves".
+  return hbase::RunWithRetryProtection(
+      *cluster_, s, [&] { return SubmitWriteOnce(s, payload, lock, body); },
+      [this] { MaybeAutoRecover(); });
 }
 
 StatusOr<int64_t> TxnLayer::SubmitWriteOnce(hbase::Session& s,

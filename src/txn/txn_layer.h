@@ -75,10 +75,29 @@ class SlaveNode {
 
   /// Enqueues the write for the worker thread and blocks until it commits
   /// or fails. The caller's stack (payload/lock/body) stays valid for the
-  /// duration, so the task only carries pointers.
+  /// duration, so the task only carries pointers. Backpressure: when the
+  /// bounded queue stays full past the enqueue wait (saturated or stuck
+  /// worker), the write is rejected with kResourceExhausted instead of
+  /// blocking the producer indefinitely; a crashed slave rejects with
+  /// kUnavailable so the root retry loop routes around it.
   StatusOr<int64_t> ProcessWrite(hbase::Session& s, const std::string& payload,
                                  const std::optional<LockSpec>& lock,
                                  const WriteBody& body);
+
+  static constexpr size_t kQueueCapacity = 8;
+
+  /// Host-time bound on how long an enqueue may wait for queue room before
+  /// rejecting with backpressure (liveness guard, not modeled time). Tests
+  /// shrink it to keep the queue-full regression fast.
+  void SetEnqueueWaitMs(int ms) { enqueue_wait_ms_.store(ms); }
+
+  /// Tasks waiting in the bounded queue, excluding the one the worker is
+  /// executing. Lets tests wait for a known backlog before probing the
+  /// backpressure path.
+  size_t QueueDepth() const {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return queue_.size();
+  }
 
  private:
   struct WriteTask {
@@ -99,8 +118,6 @@ class SlaveNode {
   Status Crash(const std::string& reason);
   bool Fire(fault::FaultPoint point);
 
-  static constexpr size_t kQueueCapacity = 8;
-
   hbase::Cluster* cluster_;
   LockManager* locks_;
   int id_;
@@ -108,11 +125,12 @@ class SlaveNode {
   fault::FaultInjector* faults_ = nullptr;
   std::atomic<bool> failed_{false};
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
   std::deque<WriteTask> queue_;
   bool stopping_ = false;
+  std::atomic<int> enqueue_wait_ms_{100};
   std::thread worker_;
 };
 

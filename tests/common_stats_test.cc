@@ -76,6 +76,67 @@ TEST(LatencyHistogramTest, OutOfRangeValuesAreClampedNotLost) {
   EXPECT_DOUBLE_EQ(h.Percentile(0), -5.0);
 }
 
+TEST(LatencyHistogramTest, BucketBoundaryInterpolationStaysWithinResolution) {
+  // Values sitting exactly on a power-of-two bucket edge must round-trip
+  // through the log-bucketed store within one bucket of resolution
+  // (2^(1/32) ~ 2.2%), and never escape the observed [min, max] envelope.
+  for (const double edge : {1.0, 2.0, 1024.0, 1048576.0}) {
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i) h.Add(edge);
+    EXPECT_NEAR(h.Percentile(50), edge, 0.03 * edge) << "edge " << edge;
+    EXPECT_GE(h.Percentile(50), h.min()) << "edge " << edge;
+    EXPECT_LE(h.Percentile(50), h.max()) << "edge " << edge;
+    EXPECT_DOUBLE_EQ(h.Percentile(0), edge);
+    EXPECT_DOUBLE_EQ(h.Percentile(100), edge);
+  }
+}
+
+TEST(LatencyHistogramTest, AdjacentBucketValuesKeepTheirOrder) {
+  // 2.3% apart straddles at most one bucket edge: the reported percentiles
+  // must not invert the order of the two populations.
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Add(1000.0);
+  for (int i = 0; i < 100; ++i) h.Add(1023.0);
+  EXPECT_LE(h.Percentile(25), h.Percentile(75));
+  EXPECT_NEAR(h.Percentile(25), 1000.0, 0.03 * 1000.0);
+  EXPECT_NEAR(h.Percentile(75), 1023.0, 0.03 * 1023.0);
+}
+
+TEST(LatencyHistogramTest, DisjointRangeMergeKeepsBothPopulations) {
+  // A merge of two non-overlapping distributions (fast client, slow client)
+  // must preserve both modes: the median stays in the fast mode, the upper
+  // quartile jumps to the slow one, and min/max span the union.
+  LatencyHistogram fast, slow;
+  for (int i = 0; i < 100; ++i) fast.Add(1.0);
+  for (int i = 0; i < 100; ++i) slow.Add(1e6);
+  fast.Merge(slow);
+  EXPECT_EQ(fast.count(), 200u);
+  EXPECT_DOUBLE_EQ(fast.min(), 1.0);
+  EXPECT_DOUBLE_EQ(fast.max(), 1e6);
+  EXPECT_NEAR(fast.Percentile(50), 1.0, 0.05);
+  EXPECT_NEAR(fast.Percentile(75), 1e6, 0.03 * 1e6);
+  EXPECT_DOUBLE_EQ(fast.Percentile(100), 1e6);
+  EXPECT_NEAR(fast.mean(), (100 * 1.0 + 100 * 1e6) / 200.0, 1.0);
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmptyEqualsSource) {
+  LatencyHistogram empty, src;
+  for (int i = 1; i <= 100; ++i) src.Add(static_cast<double>(i));
+  empty.Merge(src);
+  EXPECT_EQ(empty.count(), src.count());
+  EXPECT_DOUBLE_EQ(empty.min(), src.min());
+  EXPECT_DOUBLE_EQ(empty.max(), src.max());
+  for (const double p : {50.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(empty.Percentile(p), src.Percentile(p)) << "p" << p;
+  }
+  // Merging an empty histogram is a no-op, not a corruption of min/max.
+  LatencyHistogram still_empty;
+  src.Merge(still_empty);
+  EXPECT_EQ(src.count(), 100u);
+  EXPECT_DOUBLE_EQ(src.min(), 1.0);
+  EXPECT_DOUBLE_EQ(src.max(), 100.0);
+}
+
 TEST(RunningStatsTest, MeanAndStderrStillWork) {
   RunningStats s;
   for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "hbase/failover.h"
 #include "sql/parser.h"
+#include "testing/fault_injector.h"
 
 namespace synergy::exec {
 namespace {
@@ -344,6 +346,94 @@ TEST_F(ExecutorTest, DirtyRowRecoversAfterUnmark) {
       s, std::get<sql::SelectStatement>(stmt), {}, opts);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->row_count, 3u);
+}
+
+TEST_F(ExecutorTest, DirtyRestartLoopStopsAtItsBoundWithAborted) {
+  // A persistently dirty scan must drive the §VIII-C restart loop to its
+  // configured bound and then surface kAborted — not spin forever, and not
+  // morph into a retryable error class that would re-enter the loop above.
+  fault::FaultInjector faults(7);
+  fault::FaultRule rule;
+  rule.point = fault::FaultPoint::kDirtyReadRestart;
+  rule.probability = 1.0;  // every attempt aborts on its first row
+  faults.AddRule(rule);
+  cluster_.SetFaultInjector(&faults);
+
+  hbase::Session s(&cluster_);
+  auto stmt = sql::MustParse("SELECT * FROM Customer");
+  ExecOptions opts;
+  opts.detect_dirty = true;
+  opts.max_dirty_retries = 3;
+  const double before_us = s.meter().micros();
+  auto r = executor_->ExecuteSelect(s, std::get<sql::SelectStatement>(stmt),
+                                    {}, opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted) << r.status();
+  // Initial attempt plus exactly max_dirty_retries restarts ran.
+  EXPECT_EQ(faults.FireCount(fault::FaultPoint::kDirtyReadRestart), 4);
+  // Each restart backs off roughly one RPC of virtual time before
+  // re-scanning; the bound keeps that cost finite.
+  EXPECT_GE(s.meter().micros() - before_us,
+            3 * cluster_.cost_model().rpc_base_us);
+  cluster_.SetFaultInjector(nullptr);
+}
+
+TEST_F(ExecutorTest, DirtyRestartRecoversOnceTheDirtClears) {
+  fault::FaultInjector faults(7);
+  faults.Arm(fault::FaultPoint::kDirtyReadRestart, /*skip_hits=*/0,
+             /*max_fires=*/2);
+  cluster_.SetFaultInjector(&faults);
+
+  hbase::Session s(&cluster_);
+  auto stmt = sql::MustParse("SELECT * FROM Customer");
+  ExecOptions opts;
+  opts.detect_dirty = true;
+  opts.max_dirty_retries = 5;
+  auto r = executor_->ExecuteSelect(s, std::get<sql::SelectStatement>(stmt),
+                                    {}, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->dirty_restarts, 2);
+  EXPECT_EQ(r->row_count, 3u);
+  cluster_.SetFaultInjector(nullptr);
+}
+
+TEST_F(ExecutorTest, DirtyRestartBoundHoldsMidReassignment) {
+  // The restart loop must keep its abort semantics while the hosting region
+  // server is declared dead but its regions are not yet reassigned: reads
+  // are served degraded during the window, and a dirty scan still exhausts
+  // the bound with kAborted rather than escalating to kUnavailable.
+  hbase::FailoverConfig fc;
+  fc.heartbeat_every_rpcs = 4;
+  fc.lease_missed_rounds = 2;
+  fc.reassign_regions_per_round = 0;  // freeze the sweep in the window
+  cluster_.ConfigureFailover(fc);
+  StatusOr<int> host = cluster_.RegionServerOf("Customer");
+  ASSERT_TRUE(host.ok());
+  cluster_.failover().FenceServer(*host);
+  for (int i = 0; i < fc.lease_missed_rounds + 2; ++i) {
+    cluster_.failover().PumpVirtualTime(fc.heartbeat_every_rpcs *
+                                        fc.us_per_tick);
+  }
+  ASSERT_EQ(cluster_.failover().state(*host), hbase::ServerState::kDead);
+
+  fault::FaultInjector faults(7);
+  fault::FaultRule rule;
+  rule.point = fault::FaultPoint::kDirtyReadRestart;
+  rule.probability = 1.0;
+  faults.AddRule(rule);
+  cluster_.SetFaultInjector(&faults);
+
+  hbase::Session s(&cluster_);
+  auto stmt = sql::MustParse("SELECT * FROM Customer");
+  ExecOptions opts;
+  opts.detect_dirty = true;
+  opts.max_dirty_retries = 2;
+  auto r = executor_->ExecuteSelect(s, std::get<sql::SelectStatement>(stmt),
+                                    {}, opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted) << r.status();
+  EXPECT_EQ(faults.FireCount(fault::FaultPoint::kDirtyReadRestart), 3);
+  EXPECT_GT(s.degraded_reads(), 0u)
+      << "the scan must actually have run inside the reassignment window";
+  cluster_.SetFaultInjector(nullptr);
 }
 
 TEST_F(ExecutorTest, UnknownTableFails) {

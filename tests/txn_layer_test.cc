@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "testing/fault_injector.h"
 
 namespace synergy::txn {
@@ -146,6 +154,136 @@ TEST_F(TxnLayerTest, WalRecordsCommitState) {
   }
   EXPECT_EQ(total, 1u);
   EXPECT_EQ(committed, 1u);
+}
+
+// Shared scaffolding for the backpressure tests: a single-slave layer whose
+// worker is stuck executing a body that blocks until released, with the
+// bounded queue filled to capacity behind it.
+class SlaveBackpressureTest : public TxnLayerTest {
+ protected:
+  void StartStuckLayer(Status release_status) {
+    layer1_ = std::make_unique<TxnLayer>(&cluster_, locks_.get(), 1);
+    release_status_ = release_status;
+    blocker_ = std::thread([this] {
+      hbase::Session s(&cluster_);
+      WriteBody body = [this](hbase::Session&) {
+        worker_blocked_.store(true);
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return released_; });
+        return release_status_;
+      };
+      blocker_result_ = layer1_->SubmitWrite(s, "stuck", std::nullopt, body);
+    });
+    while (!worker_blocked_.load()) std::this_thread::yield();
+
+    // With the worker wedged, exactly kQueueCapacity concurrent producers
+    // fill the bounded queue (each blocks on its commit future).
+    filler_status_.resize(SlaveNode::kQueueCapacity, Status::Ok());
+    for (size_t i = 0; i < SlaveNode::kQueueCapacity; ++i) {
+      fillers_.emplace_back([this, i] {
+        hbase::Session s(&cluster_);
+        filler_status_[i] =
+            layer1_
+                ->SubmitWrite(s, "fill" + std::to_string(i), std::nullopt,
+                              PutBody("f" + std::to_string(i), "v"))
+                .status();
+      });
+    }
+    while (layer1_->slave(0)->QueueDepth() < SlaveNode::kQueueCapacity) {
+      std::this_thread::yield();
+    }
+  }
+
+  void ReleaseWorker() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void TearDown() override {
+    if (!released_) ReleaseWorker();
+    if (blocker_.joinable()) blocker_.join();
+    for (auto& t : fillers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  std::unique_ptr<TxnLayer> layer1_;
+  std::thread blocker_;
+  std::vector<std::thread> fillers_;
+  std::vector<Status> filler_status_;
+  StatusOr<int64_t> blocker_result_ = Status::Internal("not run");
+  Status release_status_ = Status::Ok();
+  std::atomic<bool> worker_blocked_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+TEST_F(SlaveBackpressureTest, FullQueueRejectsWithResourceExhausted) {
+  // Regression: a saturated slave once blocked producers indefinitely in
+  // Enqueue; the bounded wait must convert that into an overload rejection
+  // the client's retry/deadline machinery can act on.
+  StartStuckLayer(Status::Ok());
+  layer1_->slave(0)->SetEnqueueWaitMs(20);
+
+  hbase::Session s(&cluster_);
+  auto late =
+      layer1_->SubmitWrite(s, "late", std::nullopt, PutBody("late", "v"));
+  EXPECT_EQ(late.status().code(), StatusCode::kResourceExhausted)
+      << late.status();
+
+  // Once the worker unwedges, the queued writes all commit: shedding the
+  // overflow lost nothing that was already accepted.
+  ReleaseWorker();
+  blocker_.join();
+  for (auto& t : fillers_) t.join();
+  EXPECT_TRUE(blocker_result_.ok()) << blocker_result_.status();
+  for (const Status& st : filler_status_) EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(ReadData("f0"), "v");
+  EXPECT_EQ(ReadData("f" + std::to_string(SlaveNode::kQueueCapacity - 1)),
+            "v");
+}
+
+TEST_F(SlaveBackpressureTest, SlaveCrashWakesWaitingProducers) {
+  // A producer sitting out the bounded enqueue wait must be woken the
+  // moment the slave dies — with kUnavailable (retryable, so the root loop
+  // can route around the corpse), not kResourceExhausted.
+  StartStuckLayer(Status::Unavailable("injected mid-body crash"));
+  layer1_->slave(0)->SetEnqueueWaitMs(60000);  // only a wake ends the wait
+
+  Status probe_status = Status::Internal("not run");
+  std::thread probe([this, &probe_status] {
+    hbase::Session s(&cluster_);
+    probe_status =
+        layer1_->SubmitWrite(s, "probe", std::nullopt, PutBody("p", "v"))
+            .status();
+  });
+  // Give the probe time to park in the enqueue wait (the crash-wake path is
+  // correct even if it loses this race: a failed slave rejects on entry).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto released_at = std::chrono::steady_clock::now();
+  ReleaseWorker();  // body returns kUnavailable -> the slave crashes
+  probe.join();
+  const auto waited = std::chrono::steady_clock::now() - released_at;
+
+  EXPECT_EQ(probe_status.code(), StatusCode::kUnavailable) << probe_status;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            10000)
+      << "the producer must be woken by the crash, not time out";
+  EXPECT_TRUE(layer1_->slave(0)->failed());
+
+  blocker_.join();
+  for (auto& t : fillers_) t.join();
+  EXPECT_EQ(blocker_result_.status().code(), StatusCode::kUnavailable);
+  // The queued writes were drained by the dead slave's worker as failures.
+  for (const Status& st : filler_status_) {
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st;
+  }
 }
 
 TEST_F(TxnLayerTest, BodyFailurePropagates) {
