@@ -43,7 +43,9 @@ struct ResultRow {
 };
 
 std::string JsonRun(const std::vector<ResultRow>& rows,
-                    const tpcw::ScaleConfig& scale, size_t ops_per_thread) {
+                    const tpcw::ScaleConfig& scale, size_t ops_per_thread,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        metrics) {
   char stamp[32] = "unknown";
   const std::time_t now = std::time(nullptr);
   std::tm tm_utc{};
@@ -71,16 +73,21 @@ std::string JsonRun(const std::vector<ResultRow>& rows,
         "\"vthroughput_ops_s\": %.1f, \"p50_ms\": %.2f, \"p95_ms\": %.2f, "
         "\"p99_ms\": %.2f, \"mean_ms\": %.2f, \"errors\": %zu, "
         "\"retries\": %zu, \"degraded_ops\": %zu, \"deadline_errors\": %zu, "
-        "\"wall_ops_s\": %.0f}%s\n",
+        "\"rpcs_per_op\": %.1f, \"wall_ops_s\": %.0f}%s\n",
         r.system.c_str(), r.mix.c_str(), r.threads,
         r.report.virtual_throughput(), r.report.p50_ms(), r.report.p95_ms(),
         r.report.p99_ms(), r.report.mean_ms(), r.report.total_errors,
         r.report.total_retries, r.report.total_degraded_ops,
-        r.report.total_deadline_errors, r.report.wall_throughput(),
-        i + 1 < rows.size() ? "," : "");
+        r.report.total_deadline_errors, r.report.rpcs_per_op(),
+        r.report.wall_throughput(), i + 1 < rows.size() ? "," : "");
     out << buf;
   }
-  out << "      ]\n    }";
+  out << "      ],\n      \"metrics\": {\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    out << "        \"" << metrics[i].first << "\": " << metrics[i].second
+        << (i + 1 < metrics.size() ? "," : "") << "\n";
+  }
+  out << "      }\n    }";
   return out.str();
 }
 
@@ -174,13 +181,15 @@ int main() {
   }
 
   std::vector<ResultRow> rows;
+  // Registry snapshots (name -> JSON) embedded into the committed run row.
+  std::vector<std::pair<std::string, std::string>> metrics_json;
   double synergy_read_t1 = 0.0, synergy_read_t4 = 0.0;
   for (const concurrent::MixConfig& mix : concurrent::StandardMixes()) {
     std::printf("--- mix: %s (read fraction %.0f%%) ---\n", mix.name.c_str(),
                 mix.read_fraction * 100.0);
     systems::TablePrinter table({"system", "threads", "ops/vsec", "p50 ms",
                                  "p95 ms", "p99 ms", "mean ms", "errors",
-                                 "retries", "degraded"});
+                                 "retries", "degraded", "rpc/op"});
     for (const auto& system : evaluated) {
       for (const int threads : sweep) {
         const concurrent::WorkloadReport report = systems::MeasureConcurrent(
@@ -203,7 +212,8 @@ int main() {
                       FormatMs(report.p99_ms()), FormatMs(report.mean_ms()),
                       std::to_string(report.total_errors),
                       std::to_string(report.total_retries),
-                      std::to_string(report.total_degraded_ops)});
+                      std::to_string(report.total_degraded_ops),
+                      FormatMs(report.rpcs_per_op())});
       }
     }
     table.Print();
@@ -284,10 +294,15 @@ int main() {
       return 1;
     }
     rows.push_back({"Synergy+crash", "failover-write", max_threads, report});
+    metrics_json.emplace_back("Synergy+crash", failover_sys->MetricsJson());
+  }
+
+  for (const auto& system : evaluated) {
+    metrics_json.emplace_back(system->name(), system->MetricsJson());
   }
 
   const std::string path = ResultsDir() + "/BENCH_concurrent_tpcw.json";
-  if (AppendJson(path, JsonRun(rows, scale, ops_per_thread))) {
+  if (AppendJson(path, JsonRun(rows, scale, ops_per_thread, metrics_json))) {
     std::printf("Appended datapoint to %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "WARNING: could not write %s\n", path.c_str());

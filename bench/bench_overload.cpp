@@ -156,7 +156,9 @@ void ApplyConfig(systems::EvaluatedSystem& system, hbase::Cluster* cluster,
 
 std::string JsonRun(const std::vector<ResultRow>& rows,
                     const tpcw::ScaleConfig& scale, int threads,
-                    double duration_vsec, const char* arrival) {
+                    double duration_vsec, const char* arrival,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        metrics) {
   char stamp[32] = "unknown";
   const std::time_t now = std::time(nullptr);
   std::tm tm_utc{};
@@ -188,17 +190,22 @@ std::string JsonRun(const std::vector<ResultRow>& rows,
         "\"p99_ms\": %.2f, \"offered\": %zu, \"completed\": %zu, "
         "\"errors\": %zu, \"shed\": %zu, \"abandoned\": %zu, "
         "\"deadline_errors\": %zu, \"retries\": %zu, "
-        "\"scan_errors_dropped\": %zu}%s\n",
+        "\"scan_errors_dropped\": %zu, \"rpcs_per_op\": %.1f}%s\n",
         r.system.c_str(), r.config.c_str(), r.rate_multiplier, r.offered_rate,
         r.report.goodput(), r.report.p50_ms(), r.report.p95_ms(),
         r.report.p99_ms(), r.report.total_offered, r.report.total_ops,
         r.report.total_errors, r.report.total_shed_errors,
         r.report.total_abandoned, r.report.total_deadline_errors,
         r.report.total_retries, r.report.total_scan_errors_dropped,
-        i + 1 < rows.size() ? "," : "");
+        r.report.rpcs_per_op(), i + 1 < rows.size() ? "," : "");
     out << buf;
   }
-  out << "      ]\n    }";
+  out << "      ],\n      \"metrics\": {\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    out << "        \"" << metrics[i].first << "\": " << metrics[i].second
+        << (i + 1 < metrics.size() ? "," : "") << "\n";
+  }
+  out << "      }\n    }";
   return out.str();
 }
 
@@ -424,9 +431,16 @@ int main() {
     }
   }
 
+  // Registry snapshots embedded into the committed run row (cumulative over
+  // the whole sweep — calibration plus every rate point).
+  std::vector<std::pair<std::string, std::string>> metrics_json;
+  for (const SystemUnderTest& sut : suts) {
+    metrics_json.emplace_back(sut.system->name(), sut.system->MetricsJson());
+  }
+
   const std::string path = ResultsDir() + "/BENCH_overload.json";
   if (AppendJson(path, JsonRun(rows, scale, threads, duration_vsec,
-                               arrival_name))) {
+                               arrival_name, metrics_json))) {
     std::printf("Appended datapoint to %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "WARNING: could not write %s\n", path.c_str());

@@ -21,6 +21,7 @@ WorkloadReport Aggregate(const std::vector<ThreadMetrics>& per_thread,
     report.total_shed_errors += t.shed_errors;
     report.total_abandoned += t.abandoned;
     report.total_scan_errors_dropped += t.scan_errors_dropped;
+    report.total_rpcs += t.rpcs;
     report.latency_us.Merge(t.latency_us);
     max_busy_us = std::max(max_busy_us, t.busy_virtual_us);
     max_span_us = std::max(max_span_us, t.span_virtual_us);

@@ -32,11 +32,15 @@ struct OpOutcome {
   OpOutcome(double us, size_t r, size_t d, size_t scan_drops)
       : virtual_us(us), retries(r), degraded(d),
         scan_errors_dropped(scan_drops) {}
+  OpOutcome(double us, size_t r, size_t d, size_t scan_drops, size_t rpc_count)
+      : virtual_us(us), retries(r), degraded(d),
+        scan_errors_dropped(scan_drops), rpcs(rpc_count) {}
 
   double virtual_us = 0.0;  // simulated cost of the op
   size_t retries = 0;       // RPC/txn retries the op consumed
   size_t degraded = 0;      // reads served at bounded staleness
   size_t scan_errors_dropped = 0;  // scanners dropped with unchecked errors
+  size_t rpcs = 0;  // store RPCs the op issued (incl. retried attempts)
 };
 
 /// Per-worker-thread counters; exclusively owned by one thread during the
@@ -53,6 +57,8 @@ struct ThreadMetrics {
   size_t abandoned = 0;         // open loop: ops dropped by the client after
                                 // waiting out max_queue_delay_us unstarted
   size_t scan_errors_dropped = 0;  // scanners dropped with unchecked errors
+  size_t rpcs = 0;              // store RPCs issued (all outcomes, incl.
+                                // failed attempts — they hit the store too)
   double busy_virtual_us = 0.0; // sum of per-op virtual time on this thread
   double span_virtual_us = 0.0; // open loop: thread clock when the run ended
                                 // (arrival horizon plus backlog drain)
@@ -71,6 +77,7 @@ struct WorkloadReport {
   size_t total_shed_errors = 0;      // errors that were overload rejections
   size_t total_abandoned = 0;        // open loop: client-abandoned arrivals
   size_t total_scan_errors_dropped = 0;  // unchecked scan errors (see Scanner)
+  size_t total_rpcs = 0;             // store RPCs issued across all threads
   double wall_seconds = 0.0;
   double virtual_seconds = 0.0;  // open loop: max thread span; closed loop:
                                  // max busy virtual time
@@ -94,6 +101,14 @@ struct WorkloadReport {
   /// plateaus (graceful degradation) or collapses (retry storms), which is
   /// the curve bench_overload plots against offered_rate().
   double goodput() const { return virtual_throughput(); }
+  /// Store RPCs per completed op — the client-coordination overhead figure
+  /// benches report next to latency (retried attempts included).
+  double rpcs_per_op() const {
+    return total_ops > 0
+               ? static_cast<double>(total_rpcs) /
+                     static_cast<double>(total_ops)
+               : 0.0;
+  }
   /// Operations per wall second (simulator speed; secondary).
   double wall_throughput() const {
     return wall_seconds > 0.0 ? static_cast<double>(total_ops) / wall_seconds

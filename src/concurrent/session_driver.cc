@@ -41,6 +41,7 @@ WorkloadReport RunClosedLoop(const DriverConfig& config,
         m.retries += outcome->retries;
         if (outcome->degraded > 0) ++m.degraded_ops;
         m.scan_errors_dropped += outcome->scan_errors_dropped;
+        m.rpcs += outcome->rpcs;
         m.busy_virtual_us += outcome->virtual_us;
         m.latency_us.Add(outcome->virtual_us);
       }
@@ -107,6 +108,7 @@ WorkloadReport RunOpenLoop(const OpenLoopConfig& config,
         clock_us += r.outcome.virtual_us;
         m.busy_virtual_us += r.outcome.virtual_us;
         m.scan_errors_dropped += r.outcome.scan_errors_dropped;
+        m.rpcs += r.outcome.rpcs;
         if (!r.status.ok()) {
           ++m.errors;
           if (r.status.code() == StatusCode::kDeadlineExceeded) {

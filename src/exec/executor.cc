@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
 #include <unordered_map>
 
 #include "exec/value_key.h"
@@ -11,6 +13,69 @@ namespace synergy::exec {
 namespace {
 
 Status DirtyRead() { return Status::Aborted("dirty row encountered"); }
+
+/// One-line plan-node label for EXPLAIN ANALYZE, matching the vocabulary of
+/// SelectPlan::Explain.
+std::string StepLabel(const PlanStep& step, size_t i) {
+  std::string label = std::to_string(i) + ": " + step.table.table;
+  if (step.table.alias != step.table.table) {
+    label += " AS " + step.table.alias;
+  }
+  switch (step.method) {
+    case PlanStep::Method::kSource:
+      label += " SOURCE " + step.path.Describe();
+      break;
+    case PlanStep::Method::kHashJoin:
+      label += " HASH_JOIN " + step.path.Describe();
+      break;
+    case PlanStep::Method::kIndexNestedLoop:
+      label += " INDEX_NESTED_LOOP ";
+      switch (step.lookup.kind) {
+        case AccessPath::Kind::kPkGet:
+          label += "PK_GET";
+          break;
+        case AccessPath::Kind::kPkPrefixScan:
+          label += "PK_PREFIX";
+          break;
+        case AccessPath::Kind::kIndexPrefixScan:
+          label += "INDEX(" + step.lookup.index_name + ")";
+          break;
+        default:
+          label += "?";
+      }
+      break;
+  }
+  return label;
+}
+
+std::string RenderAnalyze(const AnalyzeResult& a) {
+  std::ostringstream os;
+  size_t width = 24;
+  for (const PlanNodeStats& node : a.nodes) {
+    width = std::max(width, node.label.size());
+  }
+  char buf[160];
+  for (const PlanNodeStats& node : a.nodes) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-*s  rows=%-8zu rpcs=%-6llu virtual_us=%.1f",
+                  static_cast<int>(width), node.label.c_str(), node.rows,
+                  static_cast<unsigned long long>(node.rpcs),
+                  node.virtual_us);
+    os << buf << "\n";
+  }
+  const double drift =
+      a.total_virtual_us > 0.0
+          ? 100.0 * (a.node_sum_us - a.total_virtual_us) / a.total_virtual_us
+          : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "total: rows=%zu rpcs=%llu virtual_us=%.1f "
+                "(node sum %.1f, drift %.3f%%)",
+                a.result.row_count,
+                static_cast<unsigned long long>(a.total_rpcs),
+                a.total_virtual_us, a.node_sum_us, drift);
+  os << buf << "\n";
+  return os.str();
+}
 
 std::shared_ptr<RowSchema> AliasSchema(const sql::TableRef& ref,
                                        const sql::RelationDef& rel) {
@@ -552,6 +617,17 @@ class AggSink : public Sink {
 
 }  // namespace
 
+Executor::Executor(TableAdapter* adapter) : adapter_(adapter) {
+  obs::MetricsRegistry& r = adapter_->cluster()->metrics();
+  statements_ = r.GetCounter("exec_statements_total",
+                             "SELECT statements executed");
+  dirty_restarts_ = r.GetCounter(
+      "exec_dirty_restarts_total",
+      "statement restarts after observing a dirty-marked row");
+  statement_us_ = r.GetHistogram("exec_statement_virtual_us",
+                                 "virtual time per SELECT statement");
+}
+
 StatusOr<std::string> Executor::Explain(const sql::SelectStatement& stmt,
                                         const ExecOptions& options) {
   PlannerOptions popts;
@@ -569,11 +645,58 @@ StatusOr<QueryResult> Executor::ExecuteSelect(hbase::Session& s,
                                               const sql::SelectStatement& stmt,
                                               BoundParams params,
                                               const ExecOptions& options) {
+  return RunStatement(s, stmt, params, options, /*nodes=*/nullptr);
+}
+
+StatusOr<AnalyzeResult> Executor::ExplainAnalyze(
+    hbase::Session& s, const sql::SelectStatement& stmt, BoundParams params,
+    const ExecOptions& options) {
+  AnalyzeResult out;
+  const double start_us = s.meter().micros();
+  const uint64_t start_rpcs = s.rpc_count();
+  SYNERGY_ASSIGN_OR_RETURN(result,
+                           RunStatement(s, stmt, params, options, &out.nodes));
+  out.result = std::move(result);
+  out.total_virtual_us = s.meter().Since(start_us);
+  out.total_rpcs = s.rpc_count() - start_rpcs;
+  for (const PlanNodeStats& node : out.nodes) {
+    out.node_sum_us += node.virtual_us;
+  }
+  out.text = RenderAnalyze(out);
+  return out;
+}
+
+StatusOr<QueryResult> Executor::RunStatement(hbase::Session& s,
+                                             const sql::SelectStatement& stmt,
+                                             BoundParams params,
+                                             const ExecOptions& options,
+                                             std::vector<PlanNodeStats>* nodes) {
+  statements_->Inc();
+  obs::ScopedSpan span(s.trace(), "exec.select");
+  const double start_us = s.meter().micros();
+  // Virtual time and RPCs burned by attempts that aborted on a dirty row
+  // (including the per-restart backoff charge); surfaced as a pseudo-node so
+  // the analyzed totals still balance.
+  PlanNodeStats restart_node;
+  restart_node.label = "dirty restarts";
   int restarts = 0;
   while (true) {
-    StatusOr<QueryResult> result = ExecuteOnce(s, stmt, params, options);
+    if (nodes != nullptr) nodes->clear();
+    const double attempt_us = s.meter().micros();
+    const uint64_t attempt_rpcs = s.rpc_count();
+    StatusOr<QueryResult> result = ExecuteOnce(s, stmt, params, options, nodes);
     if (result.ok()) {
       result->dirty_restarts = restarts;
+      if (restarts > 0) {
+        dirty_restarts_->Inc(static_cast<uint64_t>(restarts));
+        span.Note("dirty_restarts", std::to_string(restarts));
+        if (nodes != nullptr) {
+          // rows = aborted attempts, by analogy with rows-produced.
+          restart_node.rows = static_cast<size_t>(restarts);
+          nodes->insert(nodes->begin(), restart_node);
+        }
+      }
+      statement_us_->Observe(s.meter().Since(start_us));
       return result;
     }
     if (result.status().code() == StatusCode::kAborted &&
@@ -582,8 +705,11 @@ StatusOr<QueryResult> Executor::ExecuteSelect(hbase::Session& s,
       // Back off for roughly one RPC before re-scanning.
       s.meter().Charge(
           adapter_->cluster()->cost_model().rpc_base_us);
+      restart_node.virtual_us += s.meter().Since(attempt_us);
+      restart_node.rpcs += s.rpc_count() - attempt_rpcs;
       continue;
     }
+    statement_us_->Observe(s.meter().Since(start_us));
     return result;
   }
 }
@@ -591,7 +717,11 @@ StatusOr<QueryResult> Executor::ExecuteSelect(hbase::Session& s,
 StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
                                             const sql::SelectStatement& stmt,
                                             BoundParams params,
-                                            const ExecOptions& options) {
+                                            const ExecOptions& options,
+                                            std::vector<PlanNodeStats>* nodes) {
+  const bool analyze = nodes != nullptr;
+  const double exec_start_us = s.meter().micros();
+  const uint64_t exec_start_rpcs = s.rpc_count();
   const sql::Catalog& catalog = adapter_->catalog();
   const sim::CostModel& model = adapter_->cluster()->cost_model();
   PlannerOptions popts;
@@ -636,6 +766,30 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
     SYNERGY_ASSIGN_OR_RETURN(
         plain, PlainSink::Make(stmt, final_schema, s, model, options));
     sink = std::move(plain);
+  }
+
+  // EXPLAIN ANALYZE accounting: every sink->Process call goes through this
+  // wrapper so sink time (aggregation/top-N charges) accrued while a stage
+  // is driving rows is attributed to the sink node, not the stage. Stage
+  // nodes then measure their meter/RPC interval minus the sink accrual, so
+  // the node intervals partition the statement's total charge exactly.
+  double sink_us = 0.0;
+  uint64_t sink_rpcs = 0;
+  auto sink_process = [&](const std::vector<Value>& row) -> StatusOr<bool> {
+    if (!analyze) return sink->Process(row);
+    const double m0 = s.meter().micros();
+    const uint64_t r0 = s.rpc_count();
+    StatusOr<bool> keep = sink->Process(row);
+    sink_us += s.meter().Since(m0);
+    sink_rpcs += s.rpc_count() - r0;
+    return keep;
+  };
+  if (analyze) {
+    PlanNodeStats bind;
+    bind.label = "plan+bind";
+    bind.virtual_us = s.meter().Since(exec_start_us);
+    bind.rpcs = s.rpc_count() - exec_start_rpcs;
+    nodes->push_back(bind);
   }
 
   // Streams rows of one table according to its access path. The callback
@@ -732,10 +886,16 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
   {
     const PlanStep& step = plan.steps[0];
     const std::vector<BoundPredicate>& residual = residuals[0];
+    const double stage_us = s.meter().micros();
+    const uint64_t stage_rpcs = s.rpc_count();
+    const double stage_sink_us = sink_us;
+    const uint64_t stage_sink_rpcs = sink_rpcs;
+    size_t stage_rows = 0;
     auto consume = [&](SlotRow& row) -> StatusOr<bool> {
       if (!EvalBound(residual, row.values)) return true;
+      ++stage_rows;
       if (n == 1) {
-        SYNERGY_ASSIGN_OR_RETURN(keep, sink->Process(row.values));
+        SYNERGY_ASSIGN_OR_RETURN(keep, sink_process(row.values));
         if (!keep) {
           stopped = true;
           return false;
@@ -746,6 +906,14 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
       return true;
     };
     SYNERGY_RETURN_IF_ERROR(for_each_table_row(step, consume));
+    if (analyze) {
+      PlanNodeStats node;
+      node.label = StepLabel(step, 0);
+      node.rows = stage_rows;
+      node.virtual_us = s.meter().Since(stage_us) - (sink_us - stage_sink_us);
+      node.rpcs = s.rpc_count() - stage_rpcs - (sink_rpcs - stage_sink_rpcs);
+      nodes->push_back(node);
+    }
   }
 
   for (size_t i = 1; i < n && !stopped; ++i) {
@@ -753,6 +921,11 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
     const bool last = (i == n - 1);
     const RowSchema& outer_schema = *cum_schemas[i - 1];
     const std::vector<BoundPredicate>& residual = residuals[i];
+    const double stage_us = s.meter().micros();
+    const uint64_t stage_rpcs = s.rpc_count();
+    const double stage_sink_us = sink_us;
+    const uint64_t stage_sink_rpcs = sink_rpcs;
+    size_t stage_rows = 0;
     std::vector<std::vector<Value>> next;
     std::vector<Value> combined;  // reused when feeding the sink
 
@@ -765,8 +938,9 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
       combined.insert(combined.end(), right.begin(), right.end());
       if (!EvalBound(residual, combined)) return true;
       s.meter().Charge(model.join_emit_row_us);
+      ++stage_rows;
       if (last) {
-        SYNERGY_ASSIGN_OR_RETURN(keep, sink->Process(combined));
+        SYNERGY_ASSIGN_OR_RETURN(keep, sink_process(combined));
         if (!keep) {
           stopped = true;
           return false;
@@ -921,13 +1095,35 @@ StatusOr<QueryResult> Executor::ExecuteOnce(hbase::Session& s,
       };
       SYNERGY_RETURN_IF_ERROR(for_each_table_row(step, consume));
     }
+    if (analyze) {
+      PlanNodeStats node;
+      node.label = StepLabel(step, i);
+      node.rows = stage_rows;
+      node.virtual_us = s.meter().Since(stage_us) - (sink_us - stage_sink_us);
+      node.rpcs = s.rpc_count() - stage_rpcs - (sink_rpcs - stage_sink_rpcs);
+      nodes->push_back(node);
+    }
     if (!last) {
       current = std::move(next);
     }
   }
 
   QueryResult result;
+  const double finish_us = s.meter().micros();
+  const uint64_t finish_rpcs = s.rpc_count();
   SYNERGY_RETURN_IF_ERROR(sink->Finish(&result));
+  if (analyze) {
+    sink_us += s.meter().Since(finish_us);
+    sink_rpcs += s.rpc_count() - finish_rpcs;
+    PlanNodeStats node;
+    node.label = (stmt.HasAggregates() || !stmt.group_by.empty())
+                     ? "sink: aggregate"
+                     : "sink: project/sort/limit";
+    node.rows = result.row_count;
+    node.virtual_us = sink_us;
+    node.rpcs = sink_rpcs;
+    nodes->push_back(node);
+  }
   return result;
 }
 

@@ -6,9 +6,27 @@
 namespace synergy::hbase {
 
 AdmissionController::AdmissionController(int num_servers,
-                                         AdmissionConfig config)
+                                         AdmissionConfig config,
+                                         obs::MetricsRegistry* registry)
     : config_(config),
-      servers_(static_cast<size_t>(std::max(num_servers, 1))) {}
+      own_registry_(registry == nullptr
+                        ? std::make_unique<obs::MetricsRegistry>()
+                        : nullptr),
+      servers_(static_cast<size_t>(std::max(num_servers, 1))) {
+  obs::MetricsRegistry& r =
+      registry != nullptr ? *registry : *own_registry_;
+  admitted_ = r.GetCounter("hbase_admission_admitted_total",
+                           "ops admitted (incl. queued)");
+  queued_ = r.GetCounter("hbase_admission_queued_total",
+                         "ops admitted after a virtual queue wait");
+  shed_queue_full_ = r.GetCounter("hbase_admission_shed_queue_full_total",
+                                  "ops shed: backlog at max_queue_depth");
+  shed_deadline_ = r.GetCounter("hbase_admission_shed_deadline_total",
+                                "ops shed: deadline already hopeless");
+  burst_ops_injected_ =
+      r.GetCounter("hbase_admission_burst_ops_total",
+                   "phantom ops injected by overload-burst faults");
+}
 
 AdmissionDecision AdmissionController::Admit(int server_id,
                                              double deadline_remaining_us) {
@@ -17,12 +35,12 @@ AdmissionDecision AdmissionController::Admit(int server_id,
   const int occupancy = server.inflight + server.burst;
   if (occupancy < config_.max_inflight_per_server) {
     ++server.inflight;
-    ++stats_.admitted;
+    admitted_->Inc();
     return {Status::Ok(), 0.0};
   }
   const int queue_len = occupancy - config_.max_inflight_per_server;
   if (queue_len >= config_.max_queue_depth) {
-    ++stats_.shed_queue_full;
+    shed_queue_full_->Inc();
     // A shed also drains one phantom burst op: the server spent that slot of
     // attention serving the stampede. Without this, a burst larger than
     // inflight+queue would wedge the server forever — nothing could be
@@ -40,7 +58,7 @@ AdmissionDecision AdmissionController::Admit(int server_id,
   const double est_wait_us =
       static_cast<double>(queue_len + 1) * config_.est_service_us;
   if (est_wait_us > deadline_remaining_us) {
-    ++stats_.shed_deadline;
+    shed_deadline_->Inc();
     if (server.burst > 0) --server.burst;  // see queue-full shed above
     return {Status::ResourceExhausted(
                 "server " + std::to_string(server_id) +
@@ -50,8 +68,8 @@ AdmissionDecision AdmissionController::Admit(int server_id,
             0.0};
   }
   ++server.inflight;
-  ++stats_.admitted;
-  ++stats_.queued;
+  admitted_->Inc();
+  queued_->Inc();
   return {Status::Ok(), est_wait_us};
 }
 
@@ -66,7 +84,7 @@ void AdmissionController::InjectBurst(int server_id, int ops) {
   if (ops <= 0) return;
   std::lock_guard lock(mutex_);
   servers_.at(static_cast<size_t>(server_id)).burst += ops;
-  stats_.burst_ops_injected += ops;
+  burst_ops_injected_->Inc(static_cast<uint64_t>(ops));
 }
 
 int AdmissionController::Occupancy(int server_id) const {
@@ -76,8 +94,14 @@ int AdmissionController::Occupancy(int server_id) const {
 }
 
 AdmissionStats AdmissionController::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  // Reassembled from the registry counters — no second tally to drift.
+  AdmissionStats s;
+  s.admitted = static_cast<int64_t>(admitted_->Value());
+  s.queued = static_cast<int64_t>(queued_->Value());
+  s.shed_queue_full = static_cast<int64_t>(shed_queue_full_->Value());
+  s.shed_deadline = static_cast<int64_t>(shed_deadline_->Value());
+  s.burst_ops_injected = static_cast<int64_t>(burst_ops_injected_->Value());
+  return s;
 }
 
 }  // namespace synergy::hbase

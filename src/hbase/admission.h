@@ -25,10 +25,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace synergy::hbase {
 
@@ -40,6 +42,9 @@ struct AdmissionConfig {
   int burst_ops = 12;              // phantom ops per overload-burst fire
 };
 
+/// Admission tallies, reassembled from the backing registry counters by
+/// stats() — the registry is the single source of truth (ResetAll on it
+/// resets these too, so a mid-run reset can't desynchronize the views).
 struct AdmissionStats {
   int64_t admitted = 0;            // total ops admitted (incl. queued)
   int64_t queued = 0;              // admitted after a virtual queue wait
@@ -57,7 +62,11 @@ struct AdmissionDecision {
 
 class AdmissionController {
  public:
-  AdmissionController(int num_servers, AdmissionConfig config);
+  /// `registry` is where the admission counters are published — normally the
+  /// owning Cluster's registry. Null (standalone construction in tests)
+  /// falls back to a private registry so per-instance stats still work.
+  AdmissionController(int num_servers, AdmissionConfig config,
+                      obs::MetricsRegistry* registry = nullptr);
 
   const AdmissionConfig& config() const { return config_; }
 
@@ -87,9 +96,15 @@ class AdmissionController {
   };
 
   AdmissionConfig config_;
+  // Fallback for standalone (cluster-less) construction; unused otherwise.
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::Counter* admitted_;
+  obs::Counter* queued_;
+  obs::Counter* shed_queue_full_;
+  obs::Counter* shed_deadline_;
+  obs::Counter* burst_ops_injected_;
   mutable std::mutex mutex_;
   std::vector<ServerLoad> servers_;
-  AdmissionStats stats_;
 };
 
 /// RAII in-flight slot: releases on destruction. Default-constructed slots

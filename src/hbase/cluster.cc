@@ -6,6 +6,40 @@
 
 namespace synergy::hbase {
 
+ClusterOpCounters ClusterOpCounters::Resolve(obs::MetricsRegistry& registry) {
+  ClusterOpCounters c;
+  c.rpcs = registry.GetCounter(
+      "hbase_rpcs_total", "RPC attempts at the region-server boundary");
+  c.scan_batches = registry.GetCounter(
+      "hbase_scan_batches_total", "scan batch RPCs (subset of hbase_rpcs)");
+  c.faults_injected = registry.GetCounter(
+      "hbase_faults_injected_total",
+      "injected RPC faults (request-lost, timeout, ack-lost)");
+  c.retries = registry.GetCounter(
+      "client_retries_total", "retry attempts granted by session policies");
+  c.degraded_reads = registry.GetCounter(
+      "client_degraded_reads_total",
+      "bounded-staleness reads served mid-reassignment");
+  c.deadline_exceeded = registry.GetCounter(
+      "client_deadline_exceeded_total", "ops that exhausted their deadline");
+  c.overload_rejected = registry.GetCounter(
+      "client_overload_rejected_total",
+      "ops shed by admission control or a tripped breaker");
+  c.scan_errors_dropped = registry.GetCounter(
+      "client_scan_errors_dropped_total",
+      "scanners destroyed with an unchecked error status");
+  c.breaker_fastfail = registry.GetCounter(
+      "client_breaker_fastfail_total",
+      "ops failed fast by an open circuit breaker");
+  c.retry_budget_exhausted = registry.GetCounter(
+      "client_retry_budget_exhausted_total",
+      "retries denied by an empty token-bucket budget");
+  c.admission_queue_wait_us = registry.GetHistogram(
+      "hbase_admission_queue_wait_us",
+      "virtual queueing delay charged per admitted RPC");
+  return c;
+}
+
 template <typename Fn>
 auto Cluster::RunWithRetries(Session& s, Fn&& fn) -> decltype(fn()) {
   return RunWithRetryProtection(*this, s, std::forward<Fn>(fn), [] {});
@@ -28,9 +62,11 @@ Status Cluster::InjectRequestFault(const std::string& table,
   if (faults_ == nullptr) return Status::Ok();
   const fault::FaultSite site{table, region->server_id()};
   if (faults_->ShouldFire(fault::FaultPoint::kRegionRpcFailure, site)) {
+    counters_.faults_injected->Inc();
     return faults_->InjectedFault(fault::FaultPoint::kRegionRpcFailure);
   }
   if (faults_->ShouldFire(fault::FaultPoint::kRpcTimeout, site)) {
+    counters_.faults_injected->Inc();
     return faults_->InjectedFault(fault::FaultPoint::kRpcTimeout);
   }
   return Status::Ok();
@@ -41,6 +77,7 @@ Status Cluster::InjectAckFault(const std::string& table,
   if (faults_ == nullptr) return Status::Ok();
   const fault::FaultSite site{table, region->server_id()};
   if (faults_->ShouldFire(fault::FaultPoint::kRegionRpcAckLost, site)) {
+    counters_.faults_injected->Inc();
     return faults_->InjectedFault(fault::FaultPoint::kRegionRpcAckLost);
   }
   return Status::Ok();
@@ -59,11 +96,15 @@ Status Cluster::AdmitOp(Session& s, const std::string& table,
   }
   AdmissionDecision d = admission_->Admit(server, s.OpDeadlineRemaining());
   SYNERGY_RETURN_IF_ERROR(d.status);
+  counters_.admission_queue_wait_us->Observe(d.queue_wait_us);
   if (d.queue_wait_us > 0.0) {
     // Queueing delay is modeled time like any other cost, and it advances
     // failure detection the same way retry backoffs do.
     s.meter().Charge(d.queue_wait_us);
     failover_->PumpVirtualTime(d.queue_wait_us);
+    if (obs::TraceCollector* trace = s.trace()) {
+      trace->NoteCurrent("queue_wait_us", std::to_string(d.queue_wait_us));
+    }
   }
   *slot = AdmissionSlot(admission_.get(), server);
   return Status::Ok();
@@ -108,11 +149,15 @@ Status Cluster::PutOnce(
     const std::vector<std::pair<std::string, std::string>>& columns,
     std::optional<int64_t> ts) {
   failover_->OnRpc();
+  s.CountRpc();
+  obs::ScopedSpan rpc_span(s.rpc_trace(), "rpc.put");
+  rpc_span.Note("table", table);
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   size_t payload = row_key.size();
   for (const auto& [qual, value] : columns) payload += qual.size() + value.size();
   s.meter().Charge(sim::RpcCost(model_, payload) + model_.server_seek_us);
   Region* region = t->RouteKey(row_key);
+  rpc_span.Note("server", std::to_string(region->server_id()));
   const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
   SYNERGY_RETURN_IF_ERROR(access.status);
   AdmissionSlot slot;
@@ -130,12 +175,19 @@ StatusOr<RowResult> Cluster::Get(Session& s, const std::string& table,
 StatusOr<RowResult> Cluster::GetOnce(Session& s, const std::string& table,
                                      const std::string& row_key) {
   failover_->OnRpc();
+  s.CountRpc();
+  obs::ScopedSpan rpc_span(s.rpc_trace(), "rpc.get");
+  rpc_span.Note("table", table);
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   Region* region = t->RouteKey(row_key);
+  rpc_span.Note("server", std::to_string(region->server_id()));
   const RegionAccess access =
       failover_->CheckAccess(region, /*is_write=*/false);
   SYNERGY_RETURN_IF_ERROR(access.status);
-  if (access.degraded) s.CountDegradedRead();
+  if (access.degraded) {
+    s.CountDegradedRead();
+    rpc_span.Note("degraded", "1");
+  }
   AdmissionSlot slot;
   SYNERGY_RETURN_IF_ERROR(AdmitOp(s, table, region, &slot));
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));
@@ -157,10 +209,14 @@ Status Cluster::DeleteOnce(Session& s, const std::string& table,
                            const std::string& row_key,
                            std::optional<int64_t> ts) {
   failover_->OnRpc();
+  s.CountRpc();
+  obs::ScopedSpan rpc_span(s.rpc_trace(), "rpc.delete");
+  rpc_span.Note("table", table);
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   s.meter().Charge(sim::RpcCost(model_, row_key.size()) +
                    model_.server_seek_us);
   Region* region = t->RouteKey(row_key);
+  rpc_span.Note("server", std::to_string(region->server_id()));
   const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
   SYNERGY_RETURN_IF_ERROR(access.status);
   AdmissionSlot slot;
@@ -185,6 +241,9 @@ StatusOr<bool> Cluster::CheckAndPutOnce(
     const std::string& qualifier, const std::optional<std::string>& expected,
     const std::string& new_value) {
   failover_->OnRpc();
+  s.CountRpc();
+  obs::ScopedSpan rpc_span(s.rpc_trace(), "rpc.check_and_put");
+  rpc_span.Note("table", table);
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   s.meter().Charge(model_.lock_rpc_us);
   // No ack-lost injection here: a CheckAndPut that applies but reports
@@ -192,6 +251,7 @@ StatusOr<bool> Cluster::CheckAndPutOnce(
   // Request-lost/timeout/failover refusals happen before the CAS applies,
   // so the client retry loop stays safe.
   Region* region = t->RouteKey(row_key);
+  rpc_span.Note("server", std::to_string(region->server_id()));
   const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
   SYNERGY_RETURN_IF_ERROR(access.status);
   AdmissionSlot slot;
@@ -213,10 +273,14 @@ StatusOr<int64_t> Cluster::IncrementOnce(Session& s, const std::string& table,
                                          const std::string& qualifier,
                                          int64_t delta) {
   failover_->OnRpc();
+  s.CountRpc();
+  obs::ScopedSpan rpc_span(s.rpc_trace(), "rpc.increment");
+  rpc_span.Note("table", table);
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   s.meter().Charge(sim::RpcCost(model_, row_key.size() + 16) +
                    model_.server_seek_us);
   Region* region = t->RouteKey(row_key);
+  rpc_span.Note("server", std::to_string(region->server_id()));
   const RegionAccess access = failover_->CheckAccess(region, /*is_write=*/true);
   SYNERGY_RETURN_IF_ERROR(access.status);
   AdmissionSlot slot;
@@ -249,12 +313,20 @@ StatusOr<ScanBatchResult> Cluster::ScanBatchRpcOnce(Session& s,
                                                     const std::string& stop,
                                                     size_t limit) {
   failover_->OnRpc();
+  s.CountRpc();
+  counters_.scan_batches->Inc();
+  obs::ScopedSpan rpc_span(s.rpc_trace(), "rpc.scan_batch");
+  rpc_span.Note("table", table);
   SYNERGY_ASSIGN_OR_RETURN(t, FindTable(table));
   Region* region = t->RouteScanStart(from);
+  rpc_span.Note("server", std::to_string(region->server_id()));
   const RegionAccess access =
       failover_->CheckAccess(region, /*is_write=*/false);
   SYNERGY_RETURN_IF_ERROR(access.status);
-  if (access.degraded) s.CountDegradedRead();
+  if (access.degraded) {
+    s.CountDegradedRead();
+    rpc_span.Note("degraded", "1");
+  }
   AdmissionSlot slot;
   SYNERGY_RETURN_IF_ERROR(AdmitOp(s, table, region, &slot));
   SYNERGY_RETURN_IF_ERROR(InjectRequestFault(table, region));

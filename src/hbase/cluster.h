@@ -24,6 +24,8 @@
 #include "hbase/failover.h"
 #include "hbase/retry_policy.h"
 #include "hbase/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 
 namespace synergy::fault {
@@ -33,6 +35,28 @@ class FaultInjector;
 namespace synergy::hbase {
 
 class Cluster;
+
+/// Registry handles for the cluster-wide tallies published at the RPC
+/// boundary and by the client retry stack. Resolved once per Cluster so the
+/// hot path pays one relaxed add per event; session-level counters mirror
+/// into these (satellite of PR 10: one registry is the source of truth for
+/// cluster-wide robustness tallies, so ResetMetrics can't desynchronize
+/// them).
+struct ClusterOpCounters {
+  obs::Counter* rpcs = nullptr;
+  obs::Counter* scan_batches = nullptr;
+  obs::Counter* faults_injected = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* degraded_reads = nullptr;
+  obs::Counter* deadline_exceeded = nullptr;
+  obs::Counter* overload_rejected = nullptr;
+  obs::Counter* scan_errors_dropped = nullptr;
+  obs::Counter* breaker_fastfail = nullptr;
+  obs::Counter* retry_budget_exhausted = nullptr;
+  obs::Histogram* admission_queue_wait_us = nullptr;
+
+  static ClusterOpCounters Resolve(obs::MetricsRegistry& registry);
+};
 
 /// A logical client connection: owns the virtual-time meter and read view.
 class Session {
@@ -100,22 +124,33 @@ class Session {
   void SuppressRetries(bool on) { retry_suppressed_ = on; }
   bool retries_suppressed() const { return retry_suppressed_; }
 
+  /// Attaches (or detaches, with nullptr) a trace collector: layers below
+  /// emit spans/annotations for this session's ops. Same single-driver
+  /// threading contract as SuppressRetries — the slave worker inherits the
+  /// collector through the queue handoff.
+  void SetTrace(obs::TraceCollector* trace) { trace_ = trace; }
+  obs::TraceCollector* trace() const { return trace_; }
+  /// Non-null only when per-RPC leaf spans were opted into (they can run
+  /// into the thousands for scan-heavy statements).
+  obs::TraceCollector* rpc_trace() const {
+    return trace_ != nullptr && trace_->rpc_spans() ? trace_ : nullptr;
+  }
+
   // Availability counters. Atomic because txn-slave workers execute write
   // bodies against the client's session from another thread (same contract
   // as CostMeter: commuting adds, read after the submit future resolves).
-  void CountRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
-  void CountDegradedRead() {
-    degraded_reads_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void CountDeadlineExceeded() {
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void CountOverloadRejected() {
-    overload_rejections_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void CountScanErrorDropped() {
-    scan_errors_dropped_.fetch_add(1, std::memory_order_relaxed);
-  }
+  // Each also mirrors into the cluster's registry counters, so per-session
+  // tallies and cluster-wide metrics can't drift apart (bodies follow the
+  // Cluster definition below).
+  void CountRetry();
+  void CountDegradedRead();
+  void CountDeadlineExceeded();
+  void CountOverloadRejected();
+  void CountScanErrorDropped();
+  /// One completed RPC attempt at the region-server boundary (the paper's
+  /// Table 2 denominator: RPCs per operation).
+  void CountRpc();
+  uint64_t rpc_count() const { return rpcs_.load(std::memory_order_relaxed); }
   uint64_t retries() const {
     return retries_.load(std::memory_order_relaxed);
   }
@@ -137,6 +172,7 @@ class Session {
     deadline_exceeded_.store(0, std::memory_order_relaxed);
     overload_rejections_.store(0, std::memory_order_relaxed);
     scan_errors_dropped_.store(0, std::memory_order_relaxed);
+    rpcs_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -146,6 +182,7 @@ class Session {
   std::optional<RetryPolicy> retry_policy_;
   std::unique_ptr<RetryBudget> retry_budget_;
   std::unique_ptr<CircuitBreaker> breaker_;
+  obs::TraceCollector* trace_ = nullptr;
   bool retry_suppressed_ = false;
   double op_deadline_us_ = 0.0;
   std::atomic<uint64_t> retries_{0};
@@ -153,6 +190,7 @@ class Session {
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> overload_rejections_{0};
   std::atomic<uint64_t> scan_errors_dropped_{0};
+  std::atomic<uint64_t> rpcs_{0};
 };
 
 /// Streaming scanner with per-batch RPC cost accounting. Obtain via
@@ -241,11 +279,24 @@ class Cluster {
   explicit Cluster(sim::CostModel model = sim::CostModel::Ec2Like(),
                    int num_region_servers = 5)
       : model_(model), num_region_servers_(num_region_servers),
+        counters_(ClusterOpCounters::Resolve(metrics_)),
         failover_(std::make_unique<FailoverManager>(this,
                                                     num_region_servers)) {}
 
   const sim::CostModel& cost_model() const { return model_; }
   int num_region_servers() const { return num_region_servers_; }
+
+  /// The cluster-wide metrics registry. Every layer touching this cluster
+  /// (admission, failover, txn WAL/locks/slaves, executor, view maintenance)
+  /// publishes its tallies here; Snapshot() renders them all at once.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Pre-resolved handles for the RPC-boundary and client-retry counters.
+  const ClusterOpCounters& counters() const { return counters_; }
+  /// Zeroes every counter/histogram in the registry — the one reset that
+  /// cannot desynchronize admission/failover/client tallies, since they all
+  /// read through the registry.
+  void ResetMetrics() { metrics_.ResetAll(); }
 
   /// Membership/failure-detection layer. Always on; heartbeat rounds are
   /// driven by RPC ticks, so a healthy idle cluster does no work.
@@ -267,7 +318,7 @@ class Cluster {
   void ConfigureAdmission(AdmissionConfig config) {
     admission_ = config.enabled
                      ? std::make_unique<AdmissionController>(
-                           num_region_servers_, config)
+                           num_region_servers_, config, &metrics_)
                      : nullptr;
   }
   AdmissionController* admission() { return admission_.get(); }
@@ -390,6 +441,11 @@ class Cluster {
 
   sim::CostModel model_;
   int num_region_servers_;
+  // Registry + resolved handles are declared (and thus initialized) before
+  // failover_: the FailoverManager constructor resolves its own counters
+  // from cluster->metrics().
+  obs::MetricsRegistry metrics_;
+  ClusterOpCounters counters_;
   fault::FaultInjector* faults_ = nullptr;
   std::unique_ptr<FailoverManager> failover_;
   std::unique_ptr<AdmissionController> admission_;
@@ -399,6 +455,33 @@ class Cluster {
   mutable std::shared_mutex tables_mutex_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
 };
+
+// Session counter bodies live below Cluster because each mirrors into the
+// cluster-wide registry handles in addition to its per-session atomic.
+inline void Session::CountRetry() {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  cluster_->counters().retries->Inc();
+}
+inline void Session::CountDegradedRead() {
+  degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+  cluster_->counters().degraded_reads->Inc();
+}
+inline void Session::CountDeadlineExceeded() {
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  cluster_->counters().deadline_exceeded->Inc();
+}
+inline void Session::CountOverloadRejected() {
+  overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+  cluster_->counters().overload_rejected->Inc();
+}
+inline void Session::CountScanErrorDropped() {
+  scan_errors_dropped_.fetch_add(1, std::memory_order_relaxed);
+  cluster_->counters().scan_errors_dropped->Inc();
+}
+inline void Session::CountRpc() {
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
+  cluster_->counters().rpcs->Inc();
+}
 
 namespace detail {
 
@@ -444,6 +527,7 @@ auto RunWithRetryProtection(Cluster& cluster, Session& s, Fn&& fn,
     Status gate = breaker->Admit(s.meter().micros());
     if (!gate.ok()) {
       s.CountOverloadRejected();
+      cluster.counters().breaker_fastfail->Inc();
       return Result(std::move(gate));
     }
   }
@@ -481,6 +565,7 @@ auto RunWithRetryProtection(Cluster& cluster, Session& s, Fn&& fn,
         budget != nullptr && !budget->TrySpend()) {
       // Budget empty: the recent success rate no longer pays for retries,
       // so surface the error instead of adding retry load to a brown-out.
+      cluster.counters().retry_budget_exhausted->Inc();
       return result;
     }
     s.CountRetry();

@@ -11,7 +11,28 @@ namespace synergy::hbase {
 FailoverManager::FailoverManager(Cluster* cluster, int num_servers,
                                  FailoverConfig config)
     : cluster_(cluster), config_(config),
-      servers_(static_cast<size_t>(std::max(num_servers, 1))) {}
+      servers_(static_cast<size_t>(std::max(num_servers, 1))) {
+  obs::MetricsRegistry& r = cluster_->metrics();
+  c_heartbeat_rounds_ = r.GetCounter("hbase_failover_heartbeat_rounds_total",
+                                     "virtual-time heartbeat rounds run");
+  c_crashes_ = r.GetCounter("hbase_failover_crashes_total",
+                            "region servers that lost their store");
+  c_fenced_ = r.GetCounter("hbase_failover_fenced_total",
+                           "servers declared dead with store intact");
+  c_regions_reassigned_ = r.GetCounter(
+      "hbase_failover_regions_reassigned_total",
+      "regions moved off dead servers");
+  c_edits_replayed_ = r.GetCounter("hbase_failover_edits_replayed_total",
+                                   "region-WAL entries replayed");
+  c_degraded_reads_ = r.GetCounter(
+      "hbase_failover_degraded_reads_total",
+      "reads served at bounded staleness during failover");
+  c_writes_rejected_ = r.GetCounter("hbase_failover_writes_rejected_total",
+                                    "writes refused mid-reassignment");
+  g_live_servers_ = r.GetGauge("hbase_live_region_servers",
+                               "region servers currently in the kLive state");
+  g_live_servers_->Set(static_cast<double>(servers_.size()));
+}
 
 void FailoverManager::OnRpc() {
   const int64_t t = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -47,7 +68,8 @@ bool FailoverManager::CrashLocked(int server_id) {
   if (CountLiveLocked() <= 1) return false;
   info.state = ServerState::kCrashed;
   any_server_down_.store(true, std::memory_order_relaxed);
-  ++stats_.crashes;
+  c_crashes_->Inc();
+  g_live_servers_->Set(static_cast<double>(CountLiveLocked()));
   for (Region* region : cluster_->AllRegions()) {
     if (region->server_id() == server_id) region->DropStore();
   }
@@ -95,11 +117,11 @@ void FailoverManager::SweepLocked() {
     const int target = NextLiveTargetLocked();
     if (target < 0) return;  // no live server; wait for a later round
     if (region->store_lost()) {
-      stats_.edits_replayed += static_cast<int64_t>(region->EditLogSize());
+      c_edits_replayed_->Inc(static_cast<uint64_t>(region->EditLogSize()));
       region->ReplayEdits();  // rebuild before clients can route here
     }
     region->set_server_id(target);
-    ++stats_.regions_reassigned;
+    c_regions_reassigned_->Inc();
     if (++moved >= config_.reassign_regions_per_round) return;
   }
 }
@@ -107,7 +129,7 @@ void FailoverManager::SweepLocked() {
 void FailoverManager::HeartbeatRound() {
   std::lock_guard lock(mutex_);
   ++rounds_;
-  ++stats_.heartbeat_rounds;
+  c_heartbeat_rounds_->Inc();
   fault::FaultInjector* inj = cluster_->fault_injector();
   const int n = static_cast<int>(servers_.size());
   // 1. Fault-driven crashes (the server-crash point, per live server).
@@ -147,9 +169,10 @@ void FailoverManager::HeartbeatRound() {
       // A live-but-silent server is *fenced*: store intact, no replay. Keep
       // one live server even if every heartbeat is lost.
       if (info.state == ServerState::kLive && CountLiveLocked() <= 1) continue;
-      if (info.state == ServerState::kLive) ++stats_.fenced;
+      if (info.state == ServerState::kLive) c_fenced_->Inc();
       info.state = ServerState::kDead;
       any_server_down_.store(true, std::memory_order_relaxed);
+      g_live_servers_->Set(static_cast<double>(CountLiveLocked()));
       any_down = true;
     }
   }
@@ -178,14 +201,14 @@ RegionAccess FailoverManager::CheckAccess(const Region* region,
               false};
     case ServerState::kDead:
       if (is_write) {
-        ++stats_.writes_rejected;
+        c_writes_rejected_->Inc();
         return {Status::Unavailable("region moving off dead server " +
                                     std::to_string(sid) +
                                     " (reassignment in progress)"),
                 false};
       }
       if (config_.allow_degraded_reads && !region->store_lost()) {
-        ++stats_.degraded_reads;
+        c_degraded_reads_->Inc();
         return {Status::Ok(), /*degraded=*/true};
       }
       return {Status::Unavailable("region store lost with server " +
@@ -207,8 +230,17 @@ ServerState FailoverManager::state(int server_id) const {
 }
 
 FailoverStats FailoverManager::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  // Reassembled from the registry counters — no second tally to drift.
+  FailoverStats s;
+  s.heartbeat_rounds = static_cast<int64_t>(c_heartbeat_rounds_->Value());
+  s.crashes = static_cast<int64_t>(c_crashes_->Value());
+  s.fenced = static_cast<int64_t>(c_fenced_->Value());
+  s.regions_reassigned =
+      static_cast<int64_t>(c_regions_reassigned_->Value());
+  s.edits_replayed = static_cast<int64_t>(c_edits_replayed_->Value());
+  s.degraded_reads = static_cast<int64_t>(c_degraded_reads_->Value());
+  s.writes_rejected = static_cast<int64_t>(c_writes_rejected_->Value());
+  return s;
 }
 
 }  // namespace synergy::hbase

@@ -33,6 +33,7 @@
 
 #include "common/status.h"
 #include "hbase/region.h"
+#include "obs/metrics.h"
 
 namespace synergy::fault {
 class FaultInjector;
@@ -62,6 +63,8 @@ struct RegionAccess {
   bool degraded = false;  // OK but served at bounded staleness
 };
 
+/// Failover tallies, reassembled by stats() from the owning Cluster's
+/// metrics registry (the registry is the single source of truth).
 struct FailoverStats {
   int64_t heartbeat_rounds = 0;
   int64_t crashes = 0;            // servers that lost their store
@@ -137,7 +140,15 @@ class FailoverManager {
   std::vector<ServerInfo> servers_;
   int64_t rounds_ = 0;
   int next_target_ = 0;  // round-robin cursor over live servers
-  FailoverStats stats_;
+  // Registry handles, resolved from cluster->metrics() at construction.
+  obs::Counter* c_heartbeat_rounds_;
+  obs::Counter* c_crashes_;
+  obs::Counter* c_fenced_;
+  obs::Counter* c_regions_reassigned_;
+  obs::Counter* c_edits_replayed_;
+  obs::Counter* c_degraded_reads_;
+  obs::Counter* c_writes_rejected_;
+  obs::Gauge* g_live_servers_;
 };
 
 }  // namespace synergy::hbase

@@ -8,7 +8,18 @@
 namespace synergy::core {
 
 SynergySystem::SynergySystem(hbase::Cluster* cluster, SynergyConfig config)
-    : cluster_(cluster), config_(std::move(config)) {}
+    : cluster_(cluster), config_(std::move(config)) {
+  obs::MetricsRegistry& r = cluster_->metrics();
+  c_reads_ = r.GetCounter("synergy_reads_total",
+                          "read statements run under the dirty-read protocol");
+  c_writes_ = r.GetCounter("synergy_writes_total",
+                           "write transactions submitted to the txn layer");
+  c_view_marks_ = r.GetCounter(
+      "synergy_view_marks_total",
+      "view rows marked dirty during §VIII-B update maintenance");
+  c_view_rows_updated_ = r.GetCounter("synergy_view_rows_updated_total",
+                                      "materialized-view rows rewritten");
+}
 
 StatusOr<SynergyDesign> DesignSynergySchema(
     const sql::Catalog& base_catalog, const sql::Workload& workload,
@@ -126,7 +137,21 @@ StatusOr<exec::QueryResult> SynergySystem::ExecuteRead(
   options.detect_dirty = true;
   options.max_dirty_retries = config_.max_dirty_retries;
   options.collect_rows = collect_rows;
+  c_reads_->Inc();
+  obs::ScopedSpan span(s.trace(), "synergy.read");
   return executor_->ExecuteSelect(s, stmt, params, options);
+}
+
+StatusOr<exec::AnalyzeResult> SynergySystem::ExplainAnalyzeRead(
+    hbase::Session& s, const sql::SelectStatement& stmt,
+    exec::BoundParams params) {
+  exec::ExecOptions options;
+  options.detect_dirty = true;
+  options.max_dirty_retries = config_.max_dirty_retries;
+  options.collect_rows = false;
+  c_reads_->Inc();
+  obs::ScopedSpan span(s.trace(), "synergy.read");
+  return executor_->ExplainAnalyze(s, stmt, params, options);
 }
 
 StatusOr<std::optional<txn::LockSpec>> SynergySystem::DeriveLockSpec(
@@ -202,6 +227,7 @@ Status SynergySystem::RunUpdate(hbase::Session& s,
     for (const std::vector<Value>& vpk : rows.view_pks) {
       SYNERGY_RETURN_IF_ERROR(
           adapter_->SetMarkWithIndexes(s, rows.view, vpk, true));
+      c_view_marks_->Inc();
     }
   }
   // (4) issue the updates (base row first, then view rows).
@@ -211,6 +237,7 @@ Status SynergySystem::RunUpdate(hbase::Session& s,
     for (const std::vector<Value>& vpk : rows.view_pks) {
       SYNERGY_RETURN_IF_ERROR(
           maintainer_->UpdateViewRow(s, rows.view, vpk, write.sets));
+      c_view_rows_updated_->Inc();
     }
   }
   // (5) un-mark.
@@ -236,11 +263,14 @@ Status SynergySystem::WriteBodyFor(hbase::Session& s,
 StatusOr<WriteResult> SynergySystem::ExecuteWrite(
     hbase::Session& s, const sql::Statement& stmt,
     const std::vector<Value>& params) {
+  c_writes_->Inc();
+  obs::ScopedSpan span(s.trace(), "synergy.write");
   const sql::Statement bound = sql::BindParams(stmt, params);
   SYNERGY_ASSIGN_OR_RETURN(write, exec::BindWriteStatement(bound, catalog_));
 
   // Derive the single root lock (reads ancestor rows as needed). For
   // update/delete the FK chain starts from the current base row.
+  obs::ScopedSpan lock_span(s.trace(), "synergy.derive_lock");
   exec::Tuple chain_tuple = write.tuple;
   if (write.kind != exec::BoundWrite::Kind::kInsert) {
     SYNERGY_ASSIGN_OR_RETURN(
@@ -249,6 +279,7 @@ StatusOr<WriteResult> SynergySystem::ExecuteWrite(
   }
   SYNERGY_ASSIGN_OR_RETURN(lock,
                            DeriveLockSpec(s, write.relation, chain_tuple));
+  lock_span.Close();
 
   const std::string payload = sql::StatementToString(bound);
   SYNERGY_ASSIGN_OR_RETURN(

@@ -101,6 +101,13 @@ class SynergySystem {
                                      const sql::Statement& stmt,
                                      const std::vector<Value>& params);
 
+  /// EXPLAIN ANALYZE under the read protocol (dirty-read restarts on, rows
+  /// not materialized): runs the statement and returns the per-plan-node
+  /// virtual cost decomposition.
+  StatusOr<exec::AnalyzeResult> ExplainAnalyzeRead(
+      hbase::Session& s, const sql::SelectStatement& stmt,
+      exec::BoundParams params);
+
   /// Root lock this write must take, derived by walking the FK chain from
   /// the written row up to its rooted tree's root (§VIII-A). nullopt when
   /// the relation is not in any rooted tree.
@@ -130,6 +137,11 @@ class SynergySystem {
   std::unique_ptr<txn::LockManager> locks_;
   std::unique_ptr<txn::TxnLayer> txn_layer_;
   bool built_ = false;
+  // Registry handles (cluster->metrics()), resolved at construction.
+  obs::Counter* c_reads_;
+  obs::Counter* c_writes_;
+  obs::Counter* c_view_marks_;
+  obs::Counter* c_view_rows_updated_;
 };
 
 }  // namespace synergy::core

@@ -20,6 +20,7 @@ struct StatementResult {
   size_t retries = 0;     // RPC/txn retries the statement consumed
   size_t degraded = 0;    // reads served from a degraded (failed-over) region
   size_t scan_errors_dropped = 0;  // scanners dropped with unchecked errors
+  size_t rpcs = 0;  // store RPCs the statement issued (incl. retries)
 };
 
 /// One statement execution with the cost-even-on-error semantics open-loop
@@ -54,6 +55,11 @@ class EvaluatedSystem {
 
   /// Names of materialized views the system created (diagnostics).
   virtual std::vector<std::string> ViewNames() const { return {}; }
+
+  /// JSON snapshot of the system's metrics registry (obs::MetricsRegistry),
+  /// embedded into committed bench-result rows. Empty for systems without a
+  /// live cluster (VoltDB's analytical model).
+  virtual std::string MetricsJson() const { return ""; }
 
   /// Arms client-side RPC retries for subsequent Execute calls. Default is
   /// a no-op: systems without a retrying client path just run un-retried,

@@ -53,7 +53,8 @@ concurrent::WorkloadReport MeasureConcurrent(EvaluatedSystem& system,
         }
         // Cost is reported in virtual µs, alongside robustness counters.
         return concurrent::OpOutcome(r.virtual_ms * 1000.0, r.retries,
-                                     r.degraded, r.scan_errors_dropped);
+                                     r.degraded, r.scan_errors_dropped,
+                                     r.rpcs);
       });
 }
 
@@ -75,7 +76,8 @@ concurrent::WorkloadReport MeasureOpenLoop(EvaluatedSystem& system,
               system.ExecuteOpen(client.get(), stmt_id, params);
           const StatementResult& r = out.result;
           concurrent::OpOutcome outcome(r.virtual_ms * 1000.0, r.retries,
-                                        r.degraded, r.scan_errors_dropped);
+                                        r.degraded, r.scan_errors_dropped,
+                                        r.rpcs);
           if (out.status.ok() && !r.supported) {
             return concurrent::OpResult(
                 Status::Unimplemented("statement " + stmt_id +

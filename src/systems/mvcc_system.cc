@@ -205,6 +205,7 @@ StatusOr<StatementResult> MvccSystem::Execute(
   result.retries = s.retries();
   result.degraded = s.degraded_reads();
   result.scan_errors_dropped = s.scan_errors_dropped();
+  result.rpcs = s.rpc_count();
   return result;
 }
 
@@ -219,6 +220,7 @@ struct MvccClient : public EvaluatedSystem::Client {
   uint64_t last_retries = 0;
   uint64_t last_degraded = 0;
   uint64_t last_scan_drops = 0;
+  uint64_t last_rpcs = 0;
 };
 
 }  // namespace
@@ -250,6 +252,8 @@ StatementOutcome MvccSystem::ExecuteOpen(Client* client,
   c->last_degraded = s.degraded_reads();
   out.result.scan_errors_dropped = s.scan_errors_dropped() - c->last_scan_drops;
   c->last_scan_drops = s.scan_errors_dropped();
+  out.result.rpcs = s.rpc_count() - c->last_rpcs;
+  c->last_rpcs = s.rpc_count();
   return out;
 }
 

@@ -31,6 +31,9 @@ class MvccSystem : public EvaluatedSystem {
   double DbSizeBytes() const override;
   std::string Description() const override;
   std::vector<std::string> ViewNames() const override;
+  std::string MetricsJson() const override {
+    return cluster_ != nullptr ? cluster_->metrics().Snapshot().ToJson() : "";
+  }
 
   /// Installed on every statement session (fresh or persistent), so the
   /// MVCC systems see the same RPC retry / budget / breaker machinery as

@@ -60,6 +60,7 @@ StatusOr<StatementResult> SynergyWrapper::Execute(
   result.retries = s.retries();
   result.degraded = s.degraded_reads();
   result.scan_errors_dropped = s.scan_errors_dropped();
+  result.rpcs = s.rpc_count();
   return result;
 }
 
@@ -76,6 +77,7 @@ struct SynergyClient : public EvaluatedSystem::Client {
   uint64_t last_retries = 0;
   uint64_t last_degraded = 0;
   uint64_t last_scan_drops = 0;
+  uint64_t last_rpcs = 0;
 };
 
 }  // namespace
@@ -107,6 +109,8 @@ StatementOutcome SynergyWrapper::ExecuteOpen(Client* client,
   c->last_degraded = s.degraded_reads();
   out.result.scan_errors_dropped = s.scan_errors_dropped() - c->last_scan_drops;
   c->last_scan_drops = s.scan_errors_dropped();
+  out.result.rpcs = s.rpc_count() - c->last_rpcs;
+  c->last_rpcs = s.rpc_count();
   return out;
 }
 

@@ -31,6 +31,9 @@ class SynergyWrapper : public EvaluatedSystem {
     return "schema-based workload-driven views; hierarchical locking";
   }
   std::vector<std::string> ViewNames() const override;
+  std::string MetricsJson() const override {
+    return cluster_ != nullptr ? cluster_->metrics().Snapshot().ToJson() : "";
+  }
 
   /// Every Execute builds a fresh Session; an armed policy is installed on
   /// each of them, so RPC and root-txn retries engage for all statements.

@@ -14,6 +14,23 @@ constexpr char kFree[] = "0";
 constexpr char kHeld[] = "1";
 }  // namespace
 
+LockManager::LockManager(hbase::Cluster* cluster) : cluster_(cluster) {
+  obs::MetricsRegistry& r = cluster_->metrics();
+  acquire_attempts_ = r.GetCounter("txn_lock_acquire_attempts_total",
+                                   "lock CheckAndPut attempts");
+  acquires_ = r.GetCounter("txn_lock_acquires_total",
+                           "hierarchical locks acquired");
+  acquire_timeouts_ = r.GetCounter("txn_lock_acquire_timeouts_total",
+                                   "Acquire calls that hit max_attempts");
+  releases_ = r.GetCounter("txn_lock_releases_total",
+                           "hierarchical locks released");
+  release_drops_ = r.GetCounter(
+      "txn_lock_release_drops_total",
+      "release RPCs lost by the drop-lock-release fault");
+  lock_wait_us_ = r.GetHistogram(
+      "txn_lock_wait_us", "virtual wait per lock acquisition (contention)");
+}
+
 Status LockManager::CreateLockTable(const std::string& root_relation) {
   return cluster_->CreateTable({.name = LockTableName(root_relation)});
 }
@@ -45,10 +62,18 @@ StatusOr<bool> LockManager::TryAcquire(hbase::Session& s,
 
 Status LockManager::Acquire(hbase::Session& s,
                             const std::string& root_relation,
-                            const std::string& root_key, int max_attempts) {
+                            const std::string& root_key, int max_attempts,
+                            int* attempts_out) {
+  const double start_us = s.meter().micros();
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    acquire_attempts_->Inc();
+    if (attempts_out != nullptr) *attempts_out = attempt + 1;
     SYNERGY_ASSIGN_OR_RETURN(won, TryAcquire(s, root_relation, root_key));
-    if (won) return Status::Ok();
+    if (won) {
+      acquires_->Inc();
+      lock_wait_us_->Observe(s.meter().Since(start_us));
+      return Status::Ok();
+    }
     // Virtual backoff before the next CheckAndPut; the charge is what makes
     // contention visible in reported latencies.
     s.meter().Charge(cluster_->cost_model().lock_rpc_us);
@@ -61,6 +86,7 @@ Status LockManager::Acquire(hbase::Session& s,
       std::this_thread::sleep_for(std::chrono::microseconds(1 << shift));
     }
   }
+  acquire_timeouts_->Inc();
   return Status::Aborted("lock acquisition timed out on " + root_relation);
 }
 
@@ -72,6 +98,7 @@ Status LockManager::Release(hbase::Session& s,
     const fault::FaultSite site{lock_table, -1};
     if (faults_->ShouldFire(fault::FaultPoint::kDropLockRelease, site)) {
       // Release RPC lost in flight: the lock stays held in the store.
+      release_drops_->Inc();
       return faults_->InjectedFault(fault::FaultPoint::kDropLockRelease);
     }
   }
@@ -81,6 +108,7 @@ Status LockManager::Release(hbase::Session& s,
   if (!ok) {
     return Status::FailedPrecondition("releasing a lock that is not held");
   }
+  releases_->Inc();
   return Status::Ok();
 }
 

@@ -30,7 +30,7 @@ struct LockSpec {
 
 class LockManager {
  public:
-  explicit LockManager(hbase::Cluster* cluster) : cluster_(cluster) {}
+  explicit LockManager(hbase::Cluster* cluster);
 
   static std::string LockTableName(const std::string& root_relation) {
     return "__lock_" + root_relation;
@@ -56,8 +56,11 @@ class LockManager {
   /// Acquires with bounded retries. Each retry charges a virtual lock RPC
   /// (contention shows up in reported latency) and backs off the OS thread
   /// (yield, then capped exponential sleep) so concurrent owners progress.
+  /// `attempts_out`, when non-null, receives the number of CheckAndPut
+  /// attempts made (1 = uncontended) — trace spans report retries from it.
   Status Acquire(hbase::Session& s, const std::string& root_relation,
-                 const std::string& root_key, int max_attempts = 1000);
+                 const std::string& root_key, int max_attempts = 1000,
+                 int* attempts_out = nullptr);
 
   /// Releases a held lock; fails if the lock was not held.
   Status Release(hbase::Session& s, const std::string& root_relation,
@@ -70,6 +73,13 @@ class LockManager {
  private:
   hbase::Cluster* cluster_;
   fault::FaultInjector* faults_ = nullptr;
+  // Registry handles (cluster->metrics()), resolved at construction.
+  obs::Counter* acquire_attempts_;
+  obs::Counter* acquires_;
+  obs::Counter* acquire_timeouts_;
+  obs::Counter* releases_;
+  obs::Counter* release_drops_;
+  obs::Histogram* lock_wait_us_;
 };
 
 /// RAII guard: releases on destruction if still held.

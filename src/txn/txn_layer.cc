@@ -8,7 +8,16 @@ namespace synergy::txn {
 
 SlaveNode::SlaveNode(hbase::Cluster* cluster, LockManager* locks, int id)
     : cluster_(cluster), locks_(locks), id_(id),
-      wal_(std::make_shared<Wal>(&cluster->cost_model())) {
+      wal_(std::make_shared<Wal>(&cluster->cost_model(),
+                                 &cluster->metrics())) {
+  obs::MetricsRegistry& r = cluster_->metrics();
+  c_commits_ = r.GetCounter("txn_slave_commits_total",
+                            "write transactions committed by slaves");
+  c_crashes_ = r.GetCounter("txn_slave_crashes_total",
+                            "slave nodes that died (fault or lost release)");
+  c_backpressure_ = r.GetCounter(
+      "txn_slave_backpressure_rejected_total",
+      "writes rejected because a slave work queue stayed full");
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -72,6 +81,7 @@ StatusOr<int64_t> SlaveNode::ProcessWrite(hbase::Session& s,
       return Status::Unavailable("slave " + std::to_string(id_) + " is down");
     }
     if (!has_room) {
+      c_backpressure_->Inc();
       return Status::ResourceExhausted("slave " + std::to_string(id_) +
                                        " work queue full (overloaded)");
     }
@@ -84,6 +94,7 @@ StatusOr<int64_t> SlaveNode::ProcessWrite(hbase::Session& s,
 }
 
 Status SlaveNode::Crash(const std::string& reason) {
+  c_crashes_->Inc();
   failed_.store(true);
   // Wake producers waiting for queue room: the slave is dead, they should
   // take the kUnavailable exit instead of sitting out the bounded wait.
@@ -125,8 +136,15 @@ StatusOr<int64_t> SlaveNode::ExecuteWrite(hbase::Session& s,
                                           const WriteBody& body) {
   if (failed_.load()) return Status::Unavailable("slave is down");
   SuppressRetriesScope no_rpc_retries(s);
+  // The collector travels with the session through the queue handoff, so
+  // slave-side work shows up in the client's trace. Closed on every exit
+  // path by the RAII dtors.
+  obs::ScopedSpan slave_span(s.trace(), "txn.slave");
+  slave_span.Note("slave", std::to_string(id_));
   s.meter().Charge(cluster_->cost_model().txn_layer_dispatch_us);
+  obs::ScopedSpan wal_span(s.trace(), "txn.wal_append");
   SYNERGY_ASSIGN_OR_RETURN(txn_id, wal_->Append(s, payload, lock));
+  wal_span.Close();
 
   if (Fire(fault::FaultPoint::kCrashAfterWalAppend)) {
     // Died before acquiring the lock: nothing leaks, but the logged entry
@@ -136,8 +154,15 @@ StatusOr<int64_t> SlaveNode::ExecuteWrite(hbase::Session& s,
 
   LockGuard guard;
   if (lock.has_value()) {
-    SYNERGY_RETURN_IF_ERROR(
-        locks_->Acquire(s, lock->root_relation, lock->root_key));
+    obs::ScopedSpan lock_span(s.trace(), "txn.lock_acquire");
+    int attempts = 0;
+    SYNERGY_RETURN_IF_ERROR(locks_->Acquire(s, lock->root_relation,
+                                            lock->root_key,
+                                            /*max_attempts=*/1000, &attempts));
+    if (attempts > 1) {
+      lock_span.Note("lock_retries", std::to_string(attempts - 1));
+    }
+    lock_span.Close();
     guard = LockGuard(locks_, &s, lock->root_relation, lock->root_key);
   }
 
@@ -148,7 +173,9 @@ StatusOr<int64_t> SlaveNode::ExecuteWrite(hbase::Session& s,
     return Crash("before execute (lock leaked)");
   }
 
+  obs::ScopedSpan body_span(s.trace(), "txn.body");
   Status body_status = body(s);
+  body_span.Close();
   if (!body_status.ok()) {
     if (body_status.code() == StatusCode::kUnavailable) {
       // The store became unreachable mid-transaction (e.g. an injected
@@ -167,7 +194,9 @@ StatusOr<int64_t> SlaveNode::ExecuteWrite(hbase::Session& s,
     return body_status;
   }
 
+  obs::ScopedSpan release_span(s.trace(), "txn.lock_release");
   Status released = guard.ReleaseNow();
+  release_span.Close();
   if (!released.ok()) {
     // The release RPC was lost: the slave dies holding the lock, with the
     // entry uncommitted. Replay re-applies the (idempotent) body and frees
@@ -175,6 +204,7 @@ StatusOr<int64_t> SlaveNode::ExecuteWrite(hbase::Session& s,
     return Crash("lock release lost: " + released.message());
   }
   wal_->MarkCommitted(txn_id);
+  c_commits_->Inc();
   return txn_id;
 }
 

@@ -124,6 +124,10 @@ class SlaveNode {
   std::shared_ptr<Wal> wal_;
   fault::FaultInjector* faults_ = nullptr;
   std::atomic<bool> failed_{false};
+  // Registry handles (cluster->metrics()), resolved at construction.
+  obs::Counter* c_commits_;
+  obs::Counter* c_crashes_;
+  obs::Counter* c_backpressure_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;

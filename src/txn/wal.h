@@ -34,7 +34,19 @@ struct WalEntry {
 
 class Wal {
  public:
-  explicit Wal(const sim::CostModel* model) : model_(model) {}
+  /// `registry` (normally the owning cluster's) receives the append/failure
+  /// counters; null skips publication (standalone construction in tests).
+  explicit Wal(const sim::CostModel* model,
+               obs::MetricsRegistry* registry = nullptr)
+      : model_(model) {
+    if (registry != nullptr) {
+      appends_ = registry->GetCounter("txn_wal_appends_total",
+                                      "WAL entries appended (synced)");
+      append_failures_ = registry->GetCounter(
+          "txn_wal_append_failures_total",
+          "WAL appends failed by the wal-append-failure fault");
+    }
+  }
 
   /// Installs (or clears) the fault injector consulted on Append: a fired
   /// wal-append-failure fault fails the append before anything is logged.
@@ -56,6 +68,8 @@ class Wal {
  private:
   const sim::CostModel* model_;
   fault::FaultInjector* faults_ = nullptr;
+  obs::Counter* appends_ = nullptr;
+  obs::Counter* append_failures_ = nullptr;
   mutable std::mutex mutex_;
   std::vector<WalEntry> entries_;
   int64_t next_id_ = 1;
